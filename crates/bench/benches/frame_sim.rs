@@ -1,0 +1,36 @@
+//! Per-frame simulation throughput: functional render (characterization
+//! pass) vs full cycle-level simulation — the ratio MEGsim exploits.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use megsim_funcsim::{RenderConfig, Renderer};
+use megsim_timing::{Gpu, GpuConfig};
+use megsim_workloads::by_alias;
+
+fn bench_frame_pipeline(c: &mut Criterion) {
+    let gpu_config = GpuConfig::mali450_like();
+    let renderer = Renderer::new(RenderConfig::tbr(gpu_config.viewport));
+    for alias in ["jjo", "bbr1"] {
+        let workload = by_alias(alias, 0.02, 7).expect("known alias");
+        let shaders = workload.shaders();
+        let frame = workload.frame(workload.frames() / 2);
+
+        c.bench_function(&format!("funcsim_activity_{alias}"), |b| {
+            b.iter(|| renderer.frame_activity(&frame, shaders));
+        });
+        c.bench_function(&format!("funcsim_full_trace_{alias}"), |b| {
+            b.iter(|| renderer.render_frame(&frame, shaders));
+        });
+        let trace = renderer.render_frame(&frame, shaders);
+        c.bench_function(&format!("timing_simulate_frame_{alias}"), |b| {
+            let mut gpu = Gpu::new(gpu_config.clone());
+            b.iter(|| gpu.simulate_frame(&trace, shaders));
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_frame_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Clustering-kernel benchmarks: k-means and the BIC-driven search on
+//! realistic feature matrices (supports Table III/IV cost analysis).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use megsim_cluster::{kmeans, search_clusters, KMeansConfig, SearchConfig};
+
+fn feature_like_data(n: usize, d: usize) -> Vec<Vec<f64>> {
+    (0..n)
+        .map(|i| {
+            (0..d)
+                .map(|j| {
+                    let phase = (i / 50) % 4;
+                    let base = if j % 4 == phase { 100.0 } else { 5.0 };
+                    base + ((i * 31 + j * 17) % 13) as f64
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kmeans");
+    for (n, d, k) in [(500, 16, 8), (1000, 64, 16), (2000, 128, 32)] {
+        let data = feature_like_data(n, d);
+        group.bench_with_input(
+            BenchmarkId::new("lloyd", format!("n{n}_d{d}_k{k}")),
+            &data,
+            |b, data| {
+                b.iter(|| kmeans(data, &KMeansConfig::new(k).with_seed(1)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_search(c: &mut Criterion) {
+    let data = feature_like_data(800, 32);
+    c.bench_function("bic_search_n800_d32", |b| {
+        b.iter(|| search_clusters(&data, &SearchConfig::default().with_max_k(24)));
+    });
+}
+
+criterion_group!(benches, bench_kmeans, bench_search);
+criterion_main!(benches);

@@ -1,0 +1,36 @@
+//! The headline comparison: full-sequence cycle simulation vs the
+//! MEGsim flow (functional characterization + clustering + simulating
+//! only the representatives). The wall-clock ratio is the simulation
+//! speedup the paper reports as 126x at full scale.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use megsim_core::evaluate::{characterize_sequence, simulate_representatives, simulate_sequence};
+use megsim_core::pipeline::{select_representatives, MegsimConfig};
+use megsim_timing::GpuConfig;
+use megsim_workloads::by_alias;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let workload = by_alias("pvz", 0.02, 7).expect("known alias"); // 100 frames
+    let gpu = GpuConfig::mali450_like();
+    let config = MegsimConfig::default();
+
+    c.bench_function("full_sequence_simulation_pvz100", |b| {
+        b.iter(|| simulate_sequence(workload.iter_frames(), workload.shaders(), &gpu));
+    });
+
+    c.bench_function("megsim_flow_pvz100", |b| {
+        b.iter(|| {
+            let matrix =
+                characterize_sequence(workload.iter_frames(), workload.shaders(), &gpu, &config);
+            let selection = select_representatives(&matrix, &config);
+            simulate_representatives(|i| workload.frame(i), &selection, workload.shaders(), &gpu)
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_end_to_end
+}
+criterion_main!(benches);

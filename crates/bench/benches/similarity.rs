@@ -1,0 +1,21 @@
+//! Similarity-matrix construction benchmark (Fig. 5 cost).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use megsim_core::SimilarityMatrix;
+
+fn bench_similarity(c: &mut Criterion) {
+    let mut group = c.benchmark_group("similarity_matrix");
+    group.sample_size(20);
+    for n in [200usize, 500, 900] {
+        let frames: Vec<Vec<f64>> = (0..n)
+            .map(|i| (0..64).map(|j| ((i * 7 + j * 3) % 101) as f64).collect())
+            .collect();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &frames, |b, frames| {
+            b.iter(|| SimilarityMatrix::from_vectors(frames));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_similarity);
+criterion_main!(benches);

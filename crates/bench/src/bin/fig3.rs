@@ -1,0 +1,8 @@
+//! Prints Fig. 3 (correlation of input parameters with total cycles).
+use megsim_bench::{compute_suite, Context, ExperimentArgs};
+
+fn main() {
+    let ctx = Context::new(ExperimentArgs::from_env());
+    let data = compute_suite(&ctx);
+    print!("{}", megsim_bench::experiments::fig3(&data));
+}

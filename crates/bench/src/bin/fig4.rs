@@ -1,0 +1,8 @@
+//! Prints Fig. 4 (power fraction per pipeline phase).
+use megsim_bench::{compute_suite, Context, ExperimentArgs};
+
+fn main() {
+    let ctx = Context::new(ExperimentArgs::from_env());
+    let data = compute_suite(&ctx);
+    print!("{}", megsim_bench::experiments::fig4(&data));
+}

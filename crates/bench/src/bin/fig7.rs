@@ -1,0 +1,10 @@
+//! Prints Fig. 7 (relative error of the four evaluated metrics).
+use megsim_bench::{compute_suite, Context, ExperimentArgs};
+use megsim_bench::experiments::{fig7, run_all_megsim};
+
+fn main() {
+    let ctx = Context::new(ExperimentArgs::from_env());
+    let data = compute_suite(&ctx);
+    let runs = run_all_megsim(&data, &ctx.megsim);
+    print!("{}", fig7(&data, &runs));
+}

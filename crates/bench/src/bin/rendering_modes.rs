@@ -1,0 +1,8 @@
+//! Compares the three rendering architectures (TBR / TBDR+HSR / IMR)
+//! on the benchmark suite — the §II-A background claims quantified.
+use megsim_bench::{Context, ExperimentArgs};
+
+fn main() {
+    let ctx = Context::new(ExperimentArgs::from_env());
+    print!("{}", megsim_bench::experiments::rendering_modes(&ctx, 40));
+}

@@ -1,0 +1,7 @@
+//! Prints Table I (GPU simulation parameters).
+use megsim_bench::{Context, ExperimentArgs};
+
+fn main() {
+    let ctx = Context::new(ExperimentArgs::from_env());
+    print!("{}", megsim_bench::experiments::table1(&ctx));
+}

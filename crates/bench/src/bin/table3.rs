@@ -1,0 +1,10 @@
+//! Prints Table III (frame-reduction factor per benchmark).
+use megsim_bench::{compute_suite, Context, ExperimentArgs};
+use megsim_bench::experiments::{run_all_megsim, table3};
+
+fn main() {
+    let ctx = Context::new(ExperimentArgs::from_env());
+    let data = compute_suite(&ctx);
+    let runs = run_all_megsim(&data, &ctx.megsim);
+    print!("{}", table3(&data, &runs));
+}

@@ -1,0 +1,9 @@
+//! Prints Table IV (MEGsim vs random sub-sampling at equal accuracy).
+use megsim_bench::{compute_suite, Context, ExperimentArgs};
+use megsim_bench::experiments::table4;
+
+fn main() {
+    let ctx = Context::new(ExperimentArgs::from_env());
+    let data = compute_suite(&ctx);
+    print!("{}", table4(&data, &ctx.megsim, ctx.args.seeds, ctx.args.trials));
+}

@@ -1,0 +1,33 @@
+//! # megsim-bench
+//!
+//! The experiment harness of the MEGsim reproduction: one binary per
+//! table/figure of the paper's evaluation, a shared experiments library,
+//! and Criterion benches for the computational kernels.
+//!
+//! Binaries (all accept `--scale`, `--seed`, `--benchmarks`, …; see
+//! [`args::ExperimentArgs`]):
+//!
+//! | binary | reproduces |
+//! |--------|------------|
+//! | `table1` | Table I (machine description) |
+//! | `table2` | Table II (benchmark characterization) |
+//! | `fig3` | Fig. 3 (input-parameter correlation) |
+//! | `fig4` | Fig. 4 (power split per pipeline phase) |
+//! | `fig5` | Fig. 5 (similarity matrix) |
+//! | `fig6` | Fig. 6 (clusters of bbr) |
+//! | `table3` | Table III (frame-reduction factor) |
+//! | `fig7` | Fig. 7 (relative errors) |
+//! | `table4` | Table IV (vs random sub-sampling) |
+//! | `all_experiments` | everything above in one run |
+//! | `ablation_*` | design-choice ablations (DESIGN.md §5) |
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod experiments;
+pub mod format;
+pub mod report;
+
+pub use args::ExperimentArgs;
+pub use experiments::{compute_benchmark, compute_suite, BenchmarkData, Context};

@@ -1,0 +1,359 @@
+//! Subcommand implementations of the `megsim` tool.
+
+use std::collections::HashMap;
+
+use megsim_bench::report;
+use megsim_core::evaluate::{evaluate_megsim, simulate_sequence};
+use megsim_core::pipeline::{select_representatives, MegsimConfig};
+use megsim_core::{feature_matrix, FeatureMatrix};
+use megsim_funcsim::{RenderConfig, Renderer};
+use megsim_gfx::draw::Frame;
+use megsim_gfx::shader::ShaderTable;
+use megsim_gl::{decode, encode, play, record_sequence};
+use megsim_timing::GpuConfig;
+
+const USAGE: &str = "\
+usage: megsim <command> [options]
+
+commands:
+  record       --benchmark <alias> [--scale F] [--seed N] --out <trace.mglt>
+               generate a synthetic benchmark and record its GL trace
+  info         <trace.mglt>
+               print trace statistics
+  characterize <trace.mglt> [--out features.csv]
+               replay the trace functionally and emit the N x D
+               feature matrix (paper §III-B)
+  select       <trace.mglt> [--out plan.csv] [--seed N]
+               cluster the frames and print the representative plan
+               (paper §III-E/F)
+  estimate     <trace.mglt> [--seed N] [--ground-truth]
+               run MEGsim end-to-end on the trace: simulate only the
+               representatives and report estimated totals; with
+               --ground-truth also run the full simulation and report
+               the Fig. 7 relative errors
+  help         print this message";
+
+/// Dispatches a full argv (including program name).
+pub fn run(argv: &[String]) -> Result<(), String> {
+    let mut opts = Options::parse(argv)?;
+    match opts.command.as_str() {
+        "record" => record(&mut opts),
+        "info" => info(&mut opts),
+        "characterize" => characterize(&mut opts),
+        "select" => select(&mut opts),
+        "estimate" => estimate(&mut opts),
+        "help" | "--help" | "-h" | "" => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    }
+}
+
+/// Parsed command line: a subcommand, positional arguments and flags.
+struct Options {
+    command: String,
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+    bools: Vec<String>,
+}
+
+impl Options {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut it = argv.iter().skip(1);
+        let command = it.next().cloned().unwrap_or_default();
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut bools = Vec::new();
+        let rest: Vec<&String> = it.collect();
+        let mut i = 0;
+        while i < rest.len() {
+            let a = rest[i];
+            if let Some(name) = a.strip_prefix("--") {
+                if name == "ground-truth" {
+                    bools.push(name.to_string());
+                    i += 1;
+                } else {
+                    let value = rest
+                        .get(i + 1)
+                        .ok_or_else(|| format!("missing value for --{name}"))?;
+                    flags.insert(name.to_string(), (*value).clone());
+                    i += 2;
+                }
+            } else {
+                positional.push(a.clone());
+                i += 1;
+            }
+        }
+        Ok(Self {
+            command,
+            positional,
+            flags,
+            bools,
+        })
+    }
+
+    fn flag<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flags.get(name) {
+            Some(v) => v.parse().map_err(|_| format!("invalid --{name}: {v}")),
+            None => Ok(default),
+        }
+    }
+
+    fn required_flag(&self, name: &str) -> Result<&str, String> {
+        self.flags
+            .get(name)
+            .map(String::as_str)
+            .ok_or_else(|| format!("--{name} is required"))
+    }
+
+    fn trace_path(&mut self) -> Result<String, String> {
+        if self.positional.is_empty() {
+            return Err("expected a trace file argument".into());
+        }
+        Ok(self.positional.remove(0))
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.bools.iter().any(|b| b == name)
+    }
+}
+
+fn load_trace(path: &str) -> Result<(ShaderTable, Vec<Frame>), String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let stream = decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let replay = play(&stream).map_err(|e| format!("{path}: {e}"))?;
+    Ok((replay.shaders, replay.frames))
+}
+
+fn characterize_frames(
+    shaders: &ShaderTable,
+    frames: &[Frame],
+    gpu: &GpuConfig,
+) -> FeatureMatrix {
+    let renderer = Renderer::new(RenderConfig {
+        viewport: gpu.viewport,
+        mode: gpu.render_mode,
+    });
+    let activities: Vec<_> = frames
+        .iter()
+        .map(|f| renderer.frame_activity(f, shaders))
+        .collect();
+    feature_matrix(activities.iter(), shaders, &Default::default())
+}
+
+fn record(opts: &mut Options) -> Result<(), String> {
+    let alias = opts.required_flag("benchmark")?.to_string();
+    let scale: f64 = opts.flag("scale", 0.1)?;
+    let seed: u64 = opts.flag("seed", 42)?;
+    let out = opts.required_flag("out")?.to_string();
+    let workload = megsim_workloads::by_alias(&alias, scale, seed)
+        .ok_or_else(|| format!("unknown benchmark '{alias}' (try asp, bbr1, bbr2, hcr, hwh, jjo, pvz, spd)"))?;
+    let frames: Vec<Frame> = workload.iter_frames().collect();
+    let stream = record_sequence(workload.shaders(), &frames);
+    let bytes = encode(&stream);
+    std::fs::write(&out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
+    println!(
+        "recorded {} ({} frames, {} draws) -> {} ({} bytes)",
+        workload.name,
+        stream.frame_count(),
+        stream.draw_count(),
+        out,
+        bytes.len()
+    );
+    Ok(())
+}
+
+fn info(opts: &mut Options) -> Result<(), String> {
+    let path = opts.trace_path()?;
+    let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let stream = decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
+    let replay = play(&stream).map_err(|e| format!("{path}: {e}"))?;
+    println!("trace:             {path}");
+    println!("size:              {} bytes", bytes.len());
+    println!("commands:          {}", stream.commands.len());
+    println!("frames:            {}", stream.frame_count());
+    println!("draw calls:        {}", stream.draw_count());
+    println!(
+        "vertex shaders:    {}",
+        replay.shaders.vertex_count()
+    );
+    println!(
+        "fragment shaders:  {}",
+        replay.shaders.fragment_count()
+    );
+    let draws_per_frame =
+        stream.draw_count() as f64 / stream.frame_count().max(1) as f64;
+    println!("draws per frame:   {draws_per_frame:.1}");
+    Ok(())
+}
+
+fn characterize(opts: &mut Options) -> Result<(), String> {
+    let path = opts.trace_path()?;
+    let (shaders, frames) = load_trace(&path)?;
+    let gpu = GpuConfig::mali450_like();
+    let matrix = characterize_frames(&shaders, &frames, &gpu);
+    let csv = report::feature_matrix_csv(&matrix);
+    match opts.flags.get("out") {
+        Some(out) => {
+            std::fs::write(out, csv).map_err(|e| format!("cannot write {out}: {e}"))?;
+            println!(
+                "wrote {} x {} feature matrix to {out}",
+                matrix.frames(),
+                matrix.dim()
+            );
+        }
+        None => print!("{csv}"),
+    }
+    Ok(())
+}
+
+fn select(opts: &mut Options) -> Result<(), String> {
+    let path = opts.trace_path()?;
+    let seed: u64 = opts.flag("seed", 42)?;
+    let (shaders, frames) = load_trace(&path)?;
+    let gpu = GpuConfig::mali450_like();
+    let config = MegsimConfig::default().with_seed(seed);
+    let matrix = characterize_frames(&shaders, &frames, &gpu);
+    let selection = select_representatives(&matrix, &config);
+    println!(
+        "{} frames -> {} representatives ({:.1}x reduction)",
+        frames.len(),
+        selection.k(),
+        selection.reduction_factor()
+    );
+    let mut csv = String::from("cluster,frame,cluster_size\n");
+    for (c, r) in selection.representatives.iter().enumerate() {
+        use std::fmt::Write as _;
+        let _ = writeln!(csv, "{c},{},{}", r.frame_index, r.cluster_size);
+        println!(
+            "  cluster {c:>3}: frame {:>6} x {:>6}",
+            r.frame_index, r.cluster_size
+        );
+    }
+    if let Some(out) = opts.flags.get("out") {
+        std::fs::write(out, csv).map_err(|e| format!("cannot write {out}: {e}"))?;
+        println!("plan written to {out}");
+    }
+    Ok(())
+}
+
+fn estimate(opts: &mut Options) -> Result<(), String> {
+    let path = opts.trace_path()?;
+    let seed: u64 = opts.flag("seed", 42)?;
+    let ground_truth = opts.has("ground-truth");
+    let (shaders, frames) = load_trace(&path)?;
+    let gpu = GpuConfig::mali450_like();
+    let config = MegsimConfig::default().with_seed(seed);
+    let matrix = characterize_frames(&shaders, &frames, &gpu);
+    let selection = select_representatives(&matrix, &config);
+    // Simulate only the representatives, scale by cluster sizes.
+    let rep_stats = megsim_core::simulate_representatives(
+        |i| frames[i].clone(),
+        &selection,
+        &shaders,
+        &gpu,
+    );
+    let mut estimated = megsim_timing::FrameStats::default();
+    for (stats, rep) in rep_stats.iter().zip(&selection.representatives) {
+        estimated.merge(&stats.scaled(rep.cluster_size as u64));
+    }
+    println!(
+        "simulated {} of {} frames ({:.1}x fewer)",
+        selection.k(),
+        frames.len(),
+        selection.reduction_factor()
+    );
+    println!("estimated totals:");
+    println!("  cycles:              {}", estimated.cycles);
+    println!("  DRAM accesses:       {}", estimated.dram_accesses());
+    println!("  L2 accesses:         {}", estimated.l2_accesses());
+    println!("  tile-cache accesses: {}", estimated.tile_cache_accesses());
+    println!("  IPC:                 {:.2}", estimated.ipc());
+    if ground_truth {
+        eprintln!("running full ground-truth simulation...");
+        let per_frame = simulate_sequence(frames.iter().cloned(), &shaders, &gpu);
+        let run = evaluate_megsim(&matrix, &per_frame, &config);
+        println!("relative errors vs full simulation (estimates from full-run frames):");
+        println!("  cycles:              {:.3}%", run.errors.cycles * 100.0);
+        println!(
+            "  DRAM accesses:       {:.3}%",
+            run.errors.dram_accesses * 100.0
+        );
+        println!(
+            "  L2 accesses:         {:.3}%",
+            run.errors.l2_accesses * 100.0
+        );
+        println!(
+            "  tile-cache accesses: {:.3}%",
+            run.errors.tile_cache_accesses * 100.0
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(parts: &[&str]) -> Vec<String> {
+        std::iter::once("megsim")
+            .chain(parts.iter().copied())
+            .map(str::to_string)
+            .collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("megsim_cli_tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name).to_str().expect("utf-8").to_string()
+    }
+
+    #[test]
+    fn help_runs() {
+        run(&argv(&["help"])).expect("help works");
+    }
+
+    #[test]
+    fn unknown_command_errors() {
+        assert!(run(&argv(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn record_requires_benchmark() {
+        assert!(run(&argv(&["record", "--out", "/tmp/x.mglt"])).is_err());
+        assert!(run(&argv(&["record", "--benchmark", "nope", "--out", "/tmp/x.mglt"])).is_err());
+    }
+
+    #[test]
+    fn record_info_select_estimate_pipeline() {
+        let trace = tmp("pipeline.mglt");
+        run(&argv(&[
+            "record", "--benchmark", "hcr", "--scale", "0.01", "--seed", "5", "--out", &trace,
+        ]))
+        .expect("record");
+        run(&argv(&["info", &trace])).expect("info");
+        let features = tmp("features.csv");
+        run(&argv(&["characterize", &trace, "--out", &features])).expect("characterize");
+        let csv = std::fs::read_to_string(&features).expect("features written");
+        assert!(csv.starts_with("frame,vscv_0"));
+        let plan = tmp("plan.csv");
+        run(&argv(&["select", &trace, "--out", &plan])).expect("select");
+        let plan_csv = std::fs::read_to_string(&plan).expect("plan written");
+        assert!(plan_csv.starts_with("cluster,frame,cluster_size"));
+        assert!(plan_csv.lines().count() > 1);
+    }
+
+    #[test]
+    fn info_rejects_garbage_files() {
+        let bad = tmp("bad.mglt");
+        std::fs::write(&bad, b"not a trace").expect("write");
+        let err = run(&argv(&["info", &bad])).unwrap_err();
+        assert!(err.contains("MGLT"), "{err}");
+    }
+
+    #[test]
+    fn missing_file_is_a_clean_error() {
+        assert!(run(&argv(&["info", "/nonexistent/x.mglt"])).is_err());
+    }
+}

@@ -1,0 +1,114 @@
+//! Bayesian Information Criterion scoring of a clustering (paper §III-F).
+//!
+//! Implements the x-means formulation of Pelleg & Moore that the paper
+//! cites (its Eq. 5–6):
+//!
+//! ```text
+//! BIC(φ) = l̂(D) − p_φ/2 · log R
+//! l̂(D)  = Σ_n R_n log R_n − R log R − R·M/2 · log(2πσ²) − M/2 · (R − K)
+//! ```
+//!
+//! with `R` points, `R_n` points in cluster `n`, `M` dimensions,
+//! `K` clusters, `p_φ = K(M+1)` free parameters and `σ²` the pooled
+//! variance of the distance from each point to its centroid.
+
+use crate::kmeans::KMeansResult;
+
+/// BIC score of a k-means clustering over `data` (higher is better).
+///
+/// Degenerate fits (σ² = 0, i.e. every point sits on its centroid — e.g.
+/// `K = R`) get `f64::NEG_INFINITY` so the search never prefers them.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or label/point counts disagree.
+pub fn bic_score(data: &[Vec<f64>], result: &KMeansResult) -> f64 {
+    assert!(!data.is_empty(), "BIC of an empty dataset is undefined");
+    assert_eq!(data.len(), result.labels.len(), "labels/points mismatch");
+    let r = data.len() as f64;
+    let m = data[0].len() as f64;
+    let k = result.k() as f64;
+    // Pooled variance estimate of Eq. 6: σ² = WCSS / (R − K)
+    // (maximum-likelihood estimate with K centroid parameters spent).
+    if data.len() <= result.k() {
+        return f64::NEG_INFINITY;
+    }
+    let sigma2 = result.wcss / (r - k);
+    if sigma2 <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let sizes = result.cluster_sizes();
+    let mut log_likelihood = 0.0;
+    for &rn in &sizes {
+        if rn > 0 {
+            let rn = rn as f64;
+            log_likelihood += rn * rn.ln();
+        }
+    }
+    log_likelihood -= r * r.ln();
+    log_likelihood -= r * m / 2.0 * (2.0 * std::f64::consts::PI * sigma2).ln();
+    log_likelihood -= m / 2.0 * (r - k);
+    let p_phi = k * (m + 1.0);
+    log_likelihood - p_phi / 2.0 * r.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::{kmeans, KMeansConfig};
+
+    fn blobs(n_per: usize, centers: &[f64]) -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for &c in centers {
+            for i in 0..n_per {
+                // Deterministic jitter around each center.
+                let j = (i as f64 * 0.7).sin() * 0.3;
+                pts.push(vec![c + j, c - j]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn true_k_scores_higher_than_underfit() {
+        let data = blobs(20, &[0.0, 10.0, 20.0]);
+        let r1 = kmeans(&data, &KMeansConfig::new(1).with_seed(1));
+        let r3 = kmeans(&data, &KMeansConfig::new(3).with_seed(1));
+        assert!(bic_score(&data, &r3) > bic_score(&data, &r1));
+    }
+
+    #[test]
+    fn penalty_discourages_extra_clusters_at_equal_fit() {
+        // Two clusterings with identical WCSS: the one with more
+        // clusters must score lower (the penalty term plus the
+        // Σ Rn log Rn term both shrink).
+        let data = blobs(8, &[0.0, 10.0]);
+        let coarse = KMeansResult {
+            centroids: vec![vec![0.0, 0.0], vec![10.0, 10.0]],
+            labels: (0..16).map(|i| i / 8).collect(),
+            wcss: 4.0,
+            iterations: 1,
+        };
+        let fine = KMeansResult {
+            centroids: vec![vec![0.0, 0.0]; 8],
+            labels: (0..16).map(|i| i / 2).collect(),
+            wcss: 4.0,
+            iterations: 1,
+        };
+        assert!(bic_score(&data, &coarse) > bic_score(&data, &fine));
+    }
+
+    #[test]
+    fn zero_variance_fit_is_rejected() {
+        let data = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let r = kmeans(&data, &KMeansConfig::new(3).with_seed(0));
+        assert_eq!(bic_score(&data, &r), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn score_is_finite_for_reasonable_fit() {
+        let data = blobs(10, &[0.0, 5.0]);
+        let r = kmeans(&data, &KMeansConfig::new(2).with_seed(0));
+        assert!(bic_score(&data, &r).is_finite());
+    }
+}

@@ -1,0 +1,375 @@
+//! Lloyd's k-means with k-means++ or uniform random initialization.
+//!
+//! This is the clustering engine of paper §III-E: it partitions the
+//! per-frame vectors of characteristics into `k` clusters minimizing the
+//! within-cluster sum of squares (WCSS, Eq. 4).
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Squared Euclidean distance between two equal-length vectors.
+#[inline]
+pub fn squared_distance(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
+/// Euclidean distance between two equal-length vectors (paper §III-D).
+#[inline]
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    squared_distance(a, b).sqrt()
+}
+
+/// Centroid initialization strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum InitMethod {
+    /// D²-weighted seeding (Arthur & Vassilvitskii). Default; this is
+    /// what a modern SimPoint-style toolchain uses.
+    #[default]
+    KMeansPlusPlus,
+    /// Uniform random distinct points — the ablation baseline.
+    Random,
+}
+
+/// Configuration of one k-means run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// Number of clusters `k`.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iterations: usize,
+    /// Convergence threshold on total centroid movement (squared).
+    pub tolerance: f64,
+    /// Initialization strategy.
+    pub init: InitMethod,
+    /// RNG seed (runs are fully deterministic given the seed).
+    pub seed: u64,
+}
+
+impl KMeansConfig {
+    /// A sensible default configuration for `k` clusters.
+    pub fn new(k: usize) -> Self {
+        Self {
+            k,
+            max_iterations: 100,
+            tolerance: 1e-9,
+            init: InitMethod::KMeansPlusPlus,
+            seed: 0,
+        }
+    }
+
+    /// Sets the RNG seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the initialization method (builder style).
+    pub fn with_init(mut self, init: InitMethod) -> Self {
+        self.init = init;
+        self
+    }
+}
+
+/// Result of one k-means run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KMeansResult {
+    /// Final centroids (`k` vectors of dimension `d`).
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster label of each input point.
+    pub labels: Vec<usize>,
+    /// Within-cluster sum of squares (Eq. 4's objective).
+    pub wcss: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeansResult {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Population of each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k()];
+        for &l in &self.labels {
+            sizes[l] += 1;
+        }
+        sizes
+    }
+
+    /// Index of the point closest to each centroid — the paper's cluster
+    /// *representatives* (§III-E): "the selected frame for a cluster is
+    /// the one with the lowest distance" to the centroid.
+    pub fn representatives(&self, data: &[Vec<f64>]) -> Vec<usize> {
+        let mut best: Vec<(usize, f64)> = vec![(usize::MAX, f64::INFINITY); self.k()];
+        for (i, point) in data.iter().enumerate() {
+            let c = self.labels[i];
+            let d = squared_distance(point, &self.centroids[c]);
+            if d < best[c].1 {
+                best[c] = (i, d);
+            }
+        }
+        best.into_iter().map(|(i, _)| i).collect()
+    }
+}
+
+/// Runs k-means on `data` (rows are observations).
+///
+/// # Panics
+///
+/// Panics if `data` is empty, rows have inconsistent dimensions, or
+/// `config.k` is zero or exceeds the number of points.
+pub fn kmeans(data: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
+    assert!(!data.is_empty(), "k-means requires at least one point");
+    let dim = data[0].len();
+    assert!(
+        data.iter().all(|p| p.len() == dim),
+        "inconsistent point dimensions"
+    );
+    assert!(
+        config.k >= 1 && config.k <= data.len(),
+        "k must be in [1, n]"
+    );
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut centroids = match config.init {
+        InitMethod::KMeansPlusPlus => init_plus_plus(data, config.k, &mut rng),
+        InitMethod::Random => init_random(data, config.k, &mut rng),
+    };
+    let mut labels = vec![0usize; data.len()];
+    let mut iterations = 0;
+    for iter in 0..config.max_iterations {
+        iterations = iter + 1;
+        // Assignment step.
+        for (i, point) in data.iter().enumerate() {
+            labels[i] = nearest_centroid(point, &centroids).0;
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; config.k];
+        let mut counts = vec![0usize; config.k];
+        for (point, &label) in data.iter().zip(&labels) {
+            counts[label] += 1;
+            for (s, v) in sums[label].iter_mut().zip(point) {
+                *s += v;
+            }
+        }
+        let mut movement = 0.0;
+        for c in 0..config.k {
+            if counts[c] == 0 {
+                // Empty cluster: reseed to the point farthest from its
+                // centroid, the standard k-means repair.
+                let far = data
+                    .iter()
+                    .enumerate()
+                    .max_by(|(i, p), (j, q)| {
+                        let di = squared_distance(p, &centroids[labels[*i]]);
+                        let dj = squared_distance(q, &centroids[labels[*j]]);
+                        di.partial_cmp(&dj).expect("NaN distance")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty data");
+                movement += squared_distance(&centroids[c], &data[far]);
+                centroids[c] = data[far].clone();
+                continue;
+            }
+            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
+            movement += squared_distance(&centroids[c], &new);
+            centroids[c] = new;
+        }
+        if movement <= config.tolerance {
+            break;
+        }
+    }
+    // Final assignment with converged centroids.
+    let mut wcss = 0.0;
+    for (i, point) in data.iter().enumerate() {
+        let (label, d2) = nearest_centroid(point, &centroids);
+        labels[i] = label;
+        wcss += d2;
+    }
+    KMeansResult {
+        centroids,
+        labels,
+        wcss,
+        iterations,
+    }
+}
+
+fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+    let mut best = (0usize, f64::INFINITY);
+    for (c, centroid) in centroids.iter().enumerate() {
+        let d = squared_distance(point, centroid);
+        if d < best.1 {
+            best = (c, d);
+        }
+    }
+    best
+}
+
+fn init_random(data: &[Vec<f64>], k: usize, rng: &mut SmallRng) -> Vec<Vec<f64>> {
+    // Sample k distinct indices (Floyd's algorithm would be fancier; a
+    // retry loop is fine at these sizes).
+    let mut chosen = Vec::with_capacity(k);
+    let mut used = std::collections::HashSet::new();
+    while chosen.len() < k {
+        let i = rng.gen_range(0..data.len());
+        if used.insert(i) {
+            chosen.push(data[i].clone());
+        }
+    }
+    chosen
+}
+
+fn init_plus_plus(data: &[Vec<f64>], k: usize, rng: &mut SmallRng) -> Vec<Vec<f64>> {
+    let first = rng.gen_range(0..data.len());
+    let mut centroids = vec![data[first].clone()];
+    let mut d2: Vec<f64> = data
+        .iter()
+        .map(|p| squared_distance(p, &centroids[0]))
+        .collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with a centroid; any point works.
+            rng.gen_range(0..data.len())
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut idx = 0;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    idx = i;
+                    break;
+                }
+                target -= w;
+                idx = i;
+            }
+            idx
+        };
+        centroids.push(data[next].clone());
+        for (i, p) in data.iter().enumerate() {
+            let d = squared_distance(p, centroids.last().expect("just pushed"));
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+    centroids
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs() -> Vec<Vec<f64>> {
+        // Two well-separated 2-D blobs of 5 points each.
+        let mut pts = Vec::new();
+        for i in 0..5 {
+            pts.push(vec![0.0 + 0.1 * i as f64, 0.0]);
+            pts.push(vec![10.0 + 0.1 * i as f64, 10.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn distances_match_hand_computation() {
+        assert_eq!(squared_distance(&[0.0, 0.0], &[3.0, 4.0]), 25.0);
+        assert_eq!(euclidean_distance(&[0.0, 0.0], &[3.0, 4.0]), 5.0);
+    }
+
+    #[test]
+    fn k1_centroid_is_global_mean() {
+        let data = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let r = kmeans(&data, &KMeansConfig::new(1));
+        assert!((r.centroids[0][0] - 2.0).abs() < 1e-12);
+        assert_eq!(r.labels, vec![0, 0, 0]);
+        assert!((r.wcss - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let data = blobs();
+        let r = kmeans(&data, &KMeansConfig::new(2).with_seed(7));
+        // Points alternate blob membership by construction.
+        let l0 = r.labels[0];
+        for (i, &l) in r.labels.iter().enumerate() {
+            if i % 2 == 0 {
+                assert_eq!(l, l0);
+            } else {
+                assert_ne!(l, l0);
+            }
+        }
+        assert!(r.wcss < 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs();
+        let a = kmeans(&data, &KMeansConfig::new(3).with_seed(42));
+        let b = kmeans(&data, &KMeansConfig::new(3).with_seed(42));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_init_also_converges() {
+        let data = blobs();
+        let r = kmeans(
+            &data,
+            &KMeansConfig::new(2).with_seed(3).with_init(InitMethod::Random),
+        );
+        assert!(r.wcss < 1.0);
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_wcss() {
+        let data = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let r = kmeans(&data, &KMeansConfig::new(3).with_seed(1));
+        assert!(r.wcss < 1e-12);
+        let mut sizes = r.cluster_sizes();
+        sizes.sort_unstable();
+        assert_eq!(sizes, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn representatives_are_closest_to_centroids() {
+        let data = blobs();
+        let r = kmeans(&data, &KMeansConfig::new(2).with_seed(0));
+        let reps = r.representatives(&data);
+        assert_eq!(reps.len(), 2);
+        for (c, &rep) in reps.iter().enumerate() {
+            let d_rep = squared_distance(&data[rep], &r.centroids[c]);
+            for (i, p) in data.iter().enumerate() {
+                if r.labels[i] == c {
+                    assert!(d_rep <= squared_distance(p, &r.centroids[c]) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_points_do_not_panic() {
+        let data = vec![vec![1.0, 1.0]; 6];
+        let r = kmeans(&data, &KMeansConfig::new(2).with_seed(9));
+        assert_eq!(r.labels.len(), 6);
+        assert!(r.wcss < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be in")]
+    fn rejects_k_larger_than_n() {
+        let _ = kmeans(&[vec![1.0]], &KMeansConfig::new(2));
+    }
+
+    #[test]
+    fn cluster_sizes_sum_to_n() {
+        let data = blobs();
+        let r = kmeans(&data, &KMeansConfig::new(4).with_seed(5));
+        assert_eq!(r.cluster_sizes().iter().sum::<usize>(), data.len());
+    }
+}

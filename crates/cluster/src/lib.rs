@@ -1,0 +1,31 @@
+//! # megsim-cluster
+//!
+//! Clustering engine of the MEGsim reproduction: Lloyd's k-means with
+//! k-means++ initialization (paper §III-E), BIC scoring in the
+//! Pelleg/Moore x-means formulation the paper cites (Eq. 5–6), and the
+//! BIC-threshold search loop of §III-F that picks the number of
+//! clusters.
+//!
+//! ```
+//! use megsim_cluster::{search_clusters, SearchConfig};
+//!
+//! // Two obvious groups of 1-D points.
+//! let data: Vec<Vec<f64>> = (0..20)
+//!     .map(|i| vec![if i % 2 == 0 { 0.0 } else { 100.0 } + (i as f64) * 0.1])
+//!     .collect();
+//! let found = search_clusters(&data, &SearchConfig::default());
+//! assert_eq!(found.k, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod bic;
+pub mod kmeans;
+pub mod search;
+pub mod silhouette;
+
+pub use bic::bic_score;
+pub use kmeans::{euclidean_distance, kmeans, InitMethod, KMeansConfig, KMeansResult};
+pub use search::{search_clusters, SearchConfig, SearchResult};
+pub use silhouette::{best_by_silhouette, silhouette_score};

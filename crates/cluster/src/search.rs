@@ -1,0 +1,224 @@
+//! The paper's BIC-driven search for the number of clusters (§III-F).
+//!
+//! MEGsim "starts with a single cluster … and iteratively increases this
+//! value. For every cluster, the BIC score is calculated and the
+//! algorithm stops when a BIC score lower than the previous one is
+//! obtained. Finally, the algorithm chooses the clustering that achieves
+//! a BIC score that is at least [T = 85 %] of the spread between the
+//! largest and the smallest BIC score."
+
+use crate::bic::bic_score;
+use crate::kmeans::{kmeans, InitMethod, KMeansConfig, KMeansResult};
+
+/// Configuration of the cluster search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SearchConfig {
+    /// BIC threshold `T` of §III-F (paper default 0.85).
+    pub threshold: f64,
+    /// Hard upper bound on `k` (safety net; the BIC stop normally fires
+    /// first).
+    pub max_k: usize,
+    /// Consecutive BIC decreases tolerated before stopping. The paper's
+    /// rule is `1` (stop at the first decrease); the default of `3`
+    /// tolerates the local BIC dips that a single k-means run per `k`
+    /// produces, and degrades gracefully to the paper's rule via
+    /// [`SearchConfig::with_patience`].
+    pub patience: usize,
+    /// Base RNG seed; run `i` for cluster count `k` uses
+    /// `seed ⊕ hash(k)` so every `k` gets an independent stream.
+    pub seed: u64,
+    /// Centroid initialization passed through to k-means.
+    pub init: InitMethod,
+}
+
+impl Default for SearchConfig {
+    fn default() -> Self {
+        Self {
+            threshold: 0.85,
+            max_k: 128,
+            patience: 3,
+            seed: 0,
+            init: InitMethod::KMeansPlusPlus,
+        }
+    }
+}
+
+impl SearchConfig {
+    /// Sets the threshold `T` (builder style).
+    pub fn with_threshold(mut self, t: f64) -> Self {
+        assert!((0.0..=1.0).contains(&t), "threshold must be in [0, 1]");
+        self.threshold = t;
+        self
+    }
+
+    /// Sets the seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the maximum `k` (builder style).
+    pub fn with_max_k(mut self, max_k: usize) -> Self {
+        assert!(max_k >= 1, "max_k must be at least 1");
+        self.max_k = max_k;
+        self
+    }
+
+    /// Sets the patience (builder style).
+    pub fn with_patience(mut self, patience: usize) -> Self {
+        assert!(patience >= 1, "patience must be at least 1");
+        self.patience = patience;
+        self
+    }
+}
+
+/// Outcome of the cluster search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// The selected clustering.
+    pub clustering: KMeansResult,
+    /// The selected number of clusters.
+    pub k: usize,
+    /// BIC score of every evaluated `k`, starting at `k = 1`.
+    pub bic_scores: Vec<f64>,
+}
+
+impl SearchResult {
+    /// The BIC score of the selected clustering.
+    pub fn selected_bic(&self) -> f64 {
+        self.bic_scores[self.k - 1]
+    }
+}
+
+/// Runs the §III-F search over `data`.
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn search_clusters(data: &[Vec<f64>], config: &SearchConfig) -> SearchResult {
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    let hard_max = config.max_k.min(data.len());
+    let mut results: Vec<KMeansResult> = Vec::new();
+    let mut scores: Vec<f64> = Vec::new();
+    let mut decreases = 0usize;
+    for k in 1..=hard_max {
+        let km_config = KMeansConfig::new(k)
+            .with_seed(config.seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .with_init(config.init);
+        let result = kmeans(data, &km_config);
+        let score = bic_score(data, &result);
+        let stop = match scores.last() {
+            Some(&prev) if score < prev => {
+                decreases += 1;
+                decreases >= config.patience
+            }
+            Some(_) => {
+                decreases = 0;
+                false
+            }
+            None => false,
+        };
+        results.push(result);
+        scores.push(score);
+        if stop {
+            break;
+        }
+    }
+    // Threshold selection over the *finite* scores (k = n fits can be
+    // -inf and must not poison the spread).
+    let finite: Vec<f64> = scores.iter().copied().filter(|s| s.is_finite()).collect();
+    let chosen_k = if finite.is_empty() {
+        1
+    } else {
+        let max = finite.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        let min = finite.iter().copied().fold(f64::INFINITY, f64::min);
+        // Clamp so T = 1.0 still matches the maximum despite rounding.
+        let cutoff = (min + config.threshold * (max - min)).min(max);
+        scores
+            .iter()
+            .position(|&s| s.is_finite() && s >= cutoff)
+            .map(|i| i + 1)
+            .unwrap_or(1)
+    };
+    SearchResult {
+        clustering: results.swap_remove(chosen_k - 1),
+        k: chosen_k,
+        bic_scores: scores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(n_per: usize, centers: &[(f64, f64)]) -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for (ci, &(cx, cy)) in centers.iter().enumerate() {
+            for i in 0..n_per {
+                let a = (i as f64 + ci as f64 * 3.0) * 0.9;
+                pts.push(vec![cx + a.sin() * 0.4, cy + a.cos() * 0.4]);
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn finds_the_obvious_cluster_count() {
+        let data = blobs(30, &[(0.0, 0.0), (20.0, 0.0), (0.0, 20.0), (20.0, 20.0)]);
+        let r = search_clusters(&data, &SearchConfig::default().with_seed(11));
+        assert_eq!(r.k, 4, "bic_scores = {:?}", r.bic_scores);
+    }
+
+    #[test]
+    fn single_blob_yields_few_clusters() {
+        // A single box-shaped cloud: far fewer clusters than points.
+        let data: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let u = ((i * 13) % 40) as f64 / 40.0;
+                let v = ((i * 29) % 40) as f64 / 40.0;
+                vec![5.0 + u * 0.8, 5.0 + v * 0.8]
+            })
+            .collect();
+        let r = search_clusters(&data, &SearchConfig::default().with_seed(2));
+        assert!(r.k <= 6, "k = {}", r.k);
+    }
+
+    #[test]
+    fn lower_threshold_never_increases_k() {
+        let data = blobs(25, &[(0.0, 0.0), (8.0, 0.0), (16.0, 0.0)]);
+        let strict = search_clusters(&data, &SearchConfig::default().with_threshold(1.0));
+        let loose = search_clusters(&data, &SearchConfig::default().with_threshold(0.2));
+        assert!(loose.k <= strict.k);
+    }
+
+    #[test]
+    fn respects_max_k() {
+        let data = blobs(10, &[(0.0, 0.0), (50.0, 0.0), (0.0, 50.0), (50.0, 50.0)]);
+        let r = search_clusters(&data, &SearchConfig::default().with_max_k(2));
+        assert!(r.k <= 2);
+    }
+
+    #[test]
+    fn selected_bic_is_consistent() {
+        let data = blobs(20, &[(0.0, 0.0), (30.0, 30.0)]);
+        let r = search_clusters(&data, &SearchConfig::default());
+        assert_eq!(r.selected_bic(), r.bic_scores[r.k - 1]);
+        assert_eq!(r.clustering.k(), r.k);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let data = blobs(15, &[(0.0, 0.0), (10.0, 10.0)]);
+        let a = search_clusters(&data, &SearchConfig::default().with_seed(99));
+        let b = search_clusters(&data, &SearchConfig::default().with_seed(99));
+        assert_eq!(a.k, b.k);
+        assert_eq!(a.bic_scores, b.bic_scores);
+    }
+
+    #[test]
+    fn tiny_dataset_does_not_panic() {
+        let data = vec![vec![0.0], vec![1.0]];
+        let r = search_clusters(&data, &SearchConfig::default());
+        assert!(r.k >= 1);
+    }
+}

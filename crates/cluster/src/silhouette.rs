@@ -1,0 +1,149 @@
+//! Silhouette scoring — an alternative cluster-quality criterion to the
+//! BIC used by the paper, provided for the ablation study.
+//!
+//! The silhouette of a point is `(b − a) / max(a, b)` where `a` is its
+//! mean distance to its own cluster and `b` the smallest mean distance
+//! to any other cluster; the score of a clustering is the mean
+//! silhouette over all points, in `[-1, 1]` (higher is better).
+
+use crate::kmeans::{euclidean_distance, KMeansResult};
+
+/// Mean silhouette coefficient of a clustering.
+///
+/// Returns `0.0` for a single cluster (the coefficient is undefined) —
+/// the conventional "no structure measurable" value. Singleton clusters
+/// contribute a silhouette of `0` per the standard definition.
+///
+/// # Panics
+///
+/// Panics if labels and points disagree in length.
+pub fn silhouette_score(data: &[Vec<f64>], result: &KMeansResult) -> f64 {
+    assert_eq!(data.len(), result.labels.len(), "labels/points mismatch");
+    let k = result.k();
+    if k < 2 || data.len() < 2 {
+        return 0.0;
+    }
+    let sizes = result.cluster_sizes();
+    let mut total = 0.0;
+    for (i, point) in data.iter().enumerate() {
+        let own = result.labels[i];
+        if sizes[own] <= 1 {
+            continue; // silhouette of a singleton is 0
+        }
+        // Mean distance to every cluster.
+        let mut sums = vec![0.0f64; k];
+        for (j, other) in data.iter().enumerate() {
+            if i == j {
+                continue;
+            }
+            sums[result.labels[j]] += euclidean_distance(point, other);
+        }
+        let a = sums[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| sums[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if !b.is_finite() {
+            continue;
+        }
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    total / data.len() as f64
+}
+
+/// Picks the `k` in `[2, max_k]` with the best silhouette — the
+/// alternative to the §III-F BIC search used in the ablation study.
+///
+/// Returns the best clustering and its score.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `max_k < 2`.
+pub fn best_by_silhouette(
+    data: &[Vec<f64>],
+    max_k: usize,
+    seed: u64,
+) -> (KMeansResult, f64) {
+    use crate::kmeans::{kmeans, KMeansConfig};
+    assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    assert!(max_k >= 2, "silhouette selection needs at least k = 2");
+    let mut best: Option<(KMeansResult, f64)> = None;
+    for k in 2..=max_k.min(data.len()) {
+        let result = kmeans(data, &KMeansConfig::new(k).with_seed(seed ^ k as u64));
+        let score = silhouette_score(data, &result);
+        #[allow(clippy::unnecessary_map_or)]
+        let better = best.as_ref().map_or(true, |(_, s)| score > *s);
+        if better {
+            best = Some((result, score));
+        }
+    }
+    best.expect("max_k >= 2 and data non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kmeans::{kmeans, KMeansConfig};
+
+    fn blobs() -> Vec<Vec<f64>> {
+        let mut pts = Vec::new();
+        for i in 0..12 {
+            let j = (i as f64 * 0.9).sin() * 0.3;
+            pts.push(vec![j, j * 0.5]);
+            pts.push(vec![10.0 + j, 10.0 - j]);
+        }
+        pts
+    }
+
+    #[test]
+    fn well_separated_blobs_score_high() {
+        let data = blobs();
+        let r = kmeans(&data, &KMeansConfig::new(2).with_seed(1));
+        let s = silhouette_score(&data, &r);
+        assert!(s > 0.9, "silhouette = {s}");
+    }
+
+    #[test]
+    fn overclustered_fit_scores_lower() {
+        let data = blobs();
+        let good = kmeans(&data, &KMeansConfig::new(2).with_seed(1));
+        let over = kmeans(&data, &KMeansConfig::new(8).with_seed(1));
+        assert!(silhouette_score(&data, &good) > silhouette_score(&data, &over));
+    }
+
+    #[test]
+    fn single_cluster_scores_zero() {
+        let data = blobs();
+        let r = kmeans(&data, &KMeansConfig::new(1));
+        assert_eq!(silhouette_score(&data, &r), 0.0);
+    }
+
+    #[test]
+    fn score_is_bounded() {
+        let data: Vec<Vec<f64>> = (0..20)
+            .map(|i| vec![((i * 13) % 17) as f64, ((i * 7) % 11) as f64])
+            .collect();
+        for k in 2..6 {
+            let r = kmeans(&data, &KMeansConfig::new(k).with_seed(2));
+            let s = silhouette_score(&data, &r);
+            assert!((-1.0..=1.0).contains(&s), "k={k}: {s}");
+        }
+    }
+
+    #[test]
+    fn best_by_silhouette_finds_two_blobs() {
+        let data = blobs();
+        let (result, score) = best_by_silhouette(&data, 6, 3);
+        assert_eq!(result.k(), 2, "score = {score}");
+        assert!(score > 0.9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k = 2")]
+    fn best_by_silhouette_rejects_max_k_one() {
+        let _ = best_by_silhouette(&[vec![0.0], vec![1.0]], 1, 0);
+    }
+}

@@ -1,0 +1,192 @@
+//! End-to-end drivers tying the whole toolchain together: functional
+//! characterization, full cycle-level simulation, MEGsim selection and
+//! accuracy evaluation — the §IV/§V experimental flow.
+
+use megsim_funcsim::{RenderConfig, Renderer};
+use megsim_gfx::draw::Frame;
+use megsim_gfx::shader::ShaderTable;
+use megsim_timing::{FrameStats, Gpu, GpuConfig};
+
+use crate::estimate::{estimate_totals, metric_errors, sequence_totals, MetricErrors};
+use crate::features::{feature_matrix, FeatureMatrix};
+use crate::pipeline::{select_representatives, MegsimConfig, Selection};
+
+/// Fast functional characterization pass (paper §III-B): renders every
+/// frame functionally and returns the `N × D` feature matrix.
+pub fn characterize_sequence(
+    frames: impl Iterator<Item = Frame>,
+    shaders: &ShaderTable,
+    gpu_config: &GpuConfig,
+    config: &MegsimConfig,
+) -> FeatureMatrix {
+    let renderer = Renderer::new(RenderConfig {
+        viewport: gpu_config.viewport,
+        mode: gpu_config.render_mode,
+    });
+    let activities: Vec<_> = frames
+        .map(|f| renderer.frame_activity(&f, shaders))
+        .collect();
+    feature_matrix(activities.iter(), shaders, &config.characterization)
+}
+
+/// Full cycle-level simulation of a sequence (the paper's ground truth),
+/// returning per-frame statistics.
+pub fn simulate_sequence(
+    frames: impl Iterator<Item = Frame>,
+    shaders: &ShaderTable,
+    gpu_config: &GpuConfig,
+) -> Vec<FrameStats> {
+    let renderer = Renderer::new(RenderConfig {
+        viewport: gpu_config.viewport,
+        mode: gpu_config.render_mode,
+    });
+    let mut gpu = Gpu::new(gpu_config.clone());
+    frames
+        .map(|f| {
+            let trace = renderer.render_frame(&f, shaders);
+            gpu.simulate_frame(&trace, shaders)
+        })
+        .collect()
+}
+
+/// Simulates only the selected representative frames on a *fresh* GPU —
+/// what a real MEGsim deployment runs instead of the full sequence.
+/// Returns each representative's statistics, in selection order.
+pub fn simulate_representatives(
+    mut frame_of: impl FnMut(usize) -> Frame,
+    selection: &Selection,
+    shaders: &ShaderTable,
+    gpu_config: &GpuConfig,
+) -> Vec<FrameStats> {
+    let renderer = Renderer::new(RenderConfig {
+        viewport: gpu_config.viewport,
+        mode: gpu_config.render_mode,
+    });
+    let mut gpu = Gpu::new(gpu_config.clone());
+    selection
+        .representatives
+        .iter()
+        .map(|rep| {
+            let trace = renderer.render_frame(&frame_of(rep.frame_index), shaders);
+            gpu.simulate_frame(&trace, shaders)
+        })
+        .collect()
+}
+
+/// Result of one full MEGsim accuracy experiment on one workload.
+#[derive(Debug, Clone)]
+pub struct MegsimRun {
+    /// The clustering outcome.
+    pub selection: Selection,
+    /// MEGsim's estimated sequence totals.
+    pub estimated: FrameStats,
+    /// Ground-truth sequence totals.
+    pub actual: FrameStats,
+    /// Relative errors of the four Fig. 7 metrics.
+    pub errors: MetricErrors,
+}
+
+impl MegsimRun {
+    /// Frames MEGsim simulates.
+    pub fn frames_simulated(&self) -> usize {
+        self.selection.k()
+    }
+
+    /// Table III reduction factor.
+    pub fn reduction_factor(&self) -> f64 {
+        self.selection.reduction_factor()
+    }
+}
+
+/// Evaluates MEGsim against an already-simulated ground truth: selects
+/// representatives from `matrix`, estimates totals from the per-frame
+/// statistics and computes the Fig. 7 errors.
+///
+/// # Panics
+///
+/// Panics if `matrix` and `per_frame` disagree in length.
+pub fn evaluate_megsim(
+    matrix: &FeatureMatrix,
+    per_frame: &[FrameStats],
+    config: &MegsimConfig,
+) -> MegsimRun {
+    assert_eq!(
+        matrix.frames(),
+        per_frame.len(),
+        "feature matrix and statistics disagree in frame count"
+    );
+    let selection = select_representatives(matrix, config);
+    let estimated = estimate_totals(&selection.representatives, |i| &per_frame[i]);
+    let actual = sequence_totals(per_frame);
+    let errors = metric_errors(&estimated, &actual);
+    MegsimRun {
+        selection,
+        estimated,
+        actual,
+        errors,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megsim_workloads::{build, BENCHMARKS};
+
+    /// End-to-end smoke test on a miniature benchmark.
+    #[test]
+    fn megsim_beats_one_percent_error_on_a_small_sequence() {
+        let info = &BENCHMARKS[5]; // jjo (cheap 2-D game)
+        let workload = build(info, 0.04, 11); // 200 frames
+        let gpu_config = GpuConfig::small(256, 256);
+        let megsim = MegsimConfig::default().with_seed(3);
+        let matrix = characterize_sequence(
+            workload.iter_frames(),
+            workload.shaders(),
+            &gpu_config,
+            &megsim,
+        );
+        let per_frame = simulate_sequence(workload.iter_frames(), workload.shaders(), &gpu_config);
+        let run = evaluate_megsim(&matrix, &per_frame, &megsim);
+        assert!(run.frames_simulated() < workload.frames() / 2);
+        assert!(run.reduction_factor() > 2.0);
+        assert!(
+            run.errors.cycles < 0.05,
+            "cycles error = {}",
+            run.errors.cycles
+        );
+        // At this miniature scale (200 frames, 256x256 target) the DRAM
+        // counts are small and cache-state dependent, so the memory
+        // metrics carry more noise than the full-scale Fig. 7 runs.
+        assert!(run.errors.max() < 0.30, "max error = {:?}", run.errors);
+    }
+
+    #[test]
+    fn representative_resimulation_is_close_to_full_run_values() {
+        let info = &BENCHMARKS[6]; // pvz
+        let workload = build(info, 0.01, 4); // 50 frames
+        let gpu_config = GpuConfig::small(192, 192);
+        let megsim = MegsimConfig::default();
+        let matrix = characterize_sequence(
+            workload.iter_frames(),
+            workload.shaders(),
+            &gpu_config,
+            &megsim,
+        );
+        let per_frame = simulate_sequence(workload.iter_frames(), workload.shaders(), &gpu_config);
+        let run = evaluate_megsim(&matrix, &per_frame, &megsim);
+        let rep_stats = simulate_representatives(
+            |i| workload.frame(i),
+            &run.selection,
+            workload.shaders(),
+            &gpu_config,
+        );
+        // Standalone simulation of representatives sees colder caches;
+        // the resulting totals must still be within a few percent.
+        let mut est = FrameStats::default();
+        for (stats, rep) in rep_stats.iter().zip(&run.selection.representatives) {
+            est.merge(&stats.scaled(rep.cluster_size as u64));
+        }
+        let errors = metric_errors(&est, &run.actual);
+        assert!(errors.cycles < 0.10, "cycles error = {}", errors.cycles);
+    }
+}

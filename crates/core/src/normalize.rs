@@ -1,0 +1,164 @@
+//! Input-parameter normalization (paper §III-C).
+//!
+//! The three groups of the vector of characteristics represent different
+//! amounts of pipeline activity, so they are weighted by the fraction of
+//! power each pipeline phase dissipates (Fig. 4): Geometry 0.108 for the
+//! VSCV group, Raster 0.745 for the FSCV group, Tiling 0.147 for PRIM.
+//! "A per-column normalization is performed by adding all the values
+//! within each group of characteristics which are then weighted
+//! accordingly" — i.e. every group is rescaled so its total mass equals
+//! its weight.
+
+use serde::{Deserialize, Serialize};
+
+use crate::features::FeatureMatrix;
+
+/// Per-phase weights of the three feature groups.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GroupWeights {
+    /// Weight of the VSCV group (Geometry Pipeline power fraction).
+    pub geometry: f64,
+    /// Weight of the FSCV group (Raster Pipeline power fraction).
+    pub raster: f64,
+    /// Weight of the PRIM element (Tiling Engine power fraction).
+    pub tiling: f64,
+}
+
+impl GroupWeights {
+    /// The paper's power-derived weights (§III-C).
+    pub const fn paper() -> Self {
+        Self {
+            geometry: 0.108,
+            raster: 0.745,
+            tiling: 0.147,
+        }
+    }
+
+    /// Equal weights — ablation baseline.
+    pub const fn uniform() -> Self {
+        Self {
+            geometry: 1.0 / 3.0,
+            raster: 1.0 / 3.0,
+            tiling: 1.0 / 3.0,
+        }
+    }
+
+    /// Shader-count-only characterization (no Tiling information) —
+    /// the strawman §III-B argues against.
+    pub const fn shader_only() -> Self {
+        Self {
+            geometry: 0.127,
+            raster: 0.873,
+            tiling: 0.0,
+        }
+    }
+}
+
+impl Default for GroupWeights {
+    fn default() -> Self {
+        Self::paper()
+    }
+}
+
+/// Normalizes a feature matrix into the weighted dataset that feeds the
+/// clustering step: each group is rescaled so its total mass equals the
+/// group weight.
+///
+/// Groups with zero mass (e.g. a frame range that never emits
+/// primitives) contribute zero columns rather than NaNs.
+pub fn normalize(matrix: &FeatureMatrix, weights: &GroupWeights) -> Vec<Vec<f64>> {
+    let p = matrix.vscv_len;
+    let q = matrix.fscv_len;
+    let d = matrix.dim();
+    // Group masses.
+    let mut mass = [0.0f64; 3];
+    for row in &matrix.rows {
+        for (c, &v) in row.iter().enumerate() {
+            let g = group_of(c, p, q);
+            mass[g] += v;
+        }
+    }
+    let scale = [
+        if mass[0] > 0.0 { weights.geometry / mass[0] } else { 0.0 },
+        if mass[1] > 0.0 { weights.raster / mass[1] } else { 0.0 },
+        if mass[2] > 0.0 { weights.tiling / mass[2] } else { 0.0 },
+    ];
+    matrix
+        .rows
+        .iter()
+        .map(|row| {
+            let mut out = Vec::with_capacity(d);
+            for (c, &v) in row.iter().enumerate() {
+                out.push(v * scale[group_of(c, p, q)]);
+            }
+            out
+        })
+        .collect()
+}
+
+#[inline]
+fn group_of(column: usize, p: usize, q: usize) -> usize {
+    if column < p {
+        0
+    } else if column < p + q {
+        1
+    } else {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn matrix() -> FeatureMatrix {
+        FeatureMatrix {
+            rows: vec![vec![1.0, 3.0, 10.0, 30.0, 5.0], vec![2.0, 2.0, 20.0, 20.0, 15.0]],
+            vscv_len: 2,
+            fscv_len: 2,
+        }
+    }
+
+    #[test]
+    fn group_masses_equal_weights_after_normalization() {
+        let norm = normalize(&matrix(), &GroupWeights::paper());
+        let vscv_mass: f64 = norm.iter().map(|r| r[0] + r[1]).sum();
+        let fscv_mass: f64 = norm.iter().map(|r| r[2] + r[3]).sum();
+        let prim_mass: f64 = norm.iter().map(|r| r[4]).sum();
+        assert!((vscv_mass - 0.108).abs() < 1e-12);
+        assert!((fscv_mass - 0.745).abs() < 1e-12);
+        assert!((prim_mass - 0.147).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_structure_within_group_is_preserved() {
+        let norm = normalize(&matrix(), &GroupWeights::uniform());
+        // Row 1's PRIM is 3× row 0's, before and after.
+        assert!((norm[1][4] / norm[0][4] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_weight_removes_a_group() {
+        let norm = normalize(&matrix(), &GroupWeights::shader_only());
+        assert_eq!(norm[0][4], 0.0);
+        assert_eq!(norm[1][4], 0.0);
+    }
+
+    #[test]
+    fn zero_mass_group_yields_zeros_not_nan() {
+        let m = FeatureMatrix {
+            rows: vec![vec![0.0, 0.0, 1.0], vec![0.0, 0.0, 2.0]],
+            vscv_len: 1,
+            fscv_len: 1,
+        };
+        let norm = normalize(&m, &GroupWeights::paper());
+        assert!(norm.iter().flatten().all(|v| v.is_finite()));
+        assert_eq!(norm[0][0], 0.0);
+    }
+
+    #[test]
+    fn paper_weights_sum_to_one() {
+        let w = GroupWeights::paper();
+        assert!((w.geometry + w.raster + w.tiling - 1.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,162 @@
+//! The MEGsim selection pipeline: characteristic vectors → normalization
+//! → k-means/BIC search → cluster representatives (paper §III).
+
+use serde::{Deserialize, Serialize};
+
+use megsim_cluster::{search_clusters, SearchConfig};
+
+use crate::features::{CharacterizationConfig, FeatureMatrix};
+use crate::normalize::{normalize, GroupWeights};
+
+/// Full configuration of the MEGsim methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct MegsimConfig {
+    /// Characterization options (§III-B).
+    pub characterization: CharacterizationConfig,
+    /// Group weights (§III-C).
+    pub weights: GroupWeights,
+    /// Cluster-search options (§III-E/F).
+    pub search: SearchConfig,
+}
+
+impl MegsimConfig {
+    /// The paper's exact configuration: T = 0.85 and the strict
+    /// "stop at the first BIC decrease" rule of §III-F.
+    pub fn paper() -> Self {
+        let mut cfg = Self::default();
+        cfg.search = cfg.search.with_patience(1);
+        cfg
+    }
+
+    /// Sets the k-means/BIC seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.search.seed = seed;
+        self
+    }
+}
+
+/// One selected representative frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Representative {
+    /// Frame index within the sequence.
+    pub frame_index: usize,
+    /// Number of frames in the representative's cluster — the scaling
+    /// factor applied to its simulated statistics.
+    pub cluster_size: usize,
+}
+
+/// Output of the selection pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Selection {
+    /// One representative per cluster, in cluster order.
+    pub representatives: Vec<Representative>,
+    /// Cluster label of every frame.
+    pub labels: Vec<usize>,
+    /// BIC score of every evaluated `k` (diagnostics / Fig. 6 dumps).
+    pub bic_scores: Vec<f64>,
+}
+
+impl Selection {
+    /// Number of clusters (= frames MEGsim will simulate).
+    pub fn k(&self) -> usize {
+        self.representatives.len()
+    }
+
+    /// The paper's Table III "reduction factor": total frames divided by
+    /// simulated frames.
+    pub fn reduction_factor(&self) -> f64 {
+        self.labels.len() as f64 / self.k() as f64
+    }
+}
+
+/// Runs normalization + clustering + representative selection on a raw
+/// feature matrix.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty.
+pub fn select_representatives(matrix: &FeatureMatrix, config: &MegsimConfig) -> Selection {
+    assert!(matrix.frames() > 0, "cannot select from zero frames");
+    let data = normalize(matrix, &config.weights);
+    let found = search_clusters(&data, &config.search);
+    let reps = found.clustering.representatives(&data);
+    let sizes = found.clustering.cluster_sizes();
+    let representatives = reps
+        .into_iter()
+        .zip(sizes)
+        .map(|(frame_index, cluster_size)| Representative {
+            frame_index,
+            cluster_size,
+        })
+        .collect();
+    Selection {
+        representatives,
+        labels: found.clustering.labels,
+        bic_scores: found.bic_scores,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic two-phase feature matrix: 30 "menu" frames and 30
+    /// "gameplay" frames with very different shader activity.
+    fn two_phase_matrix() -> FeatureMatrix {
+        let mut rows = Vec::new();
+        for i in 0..60 {
+            let jitter = (i as f64 * 0.7).sin() * 5.0;
+            if i % 2 == 0 {
+                rows.push(vec![100.0 + jitter, 0.0, 500.0 + jitter, 0.0, 50.0]);
+            } else {
+                rows.push(vec![0.0, 900.0 + jitter, 0.0, 4000.0 + jitter, 300.0]);
+            }
+        }
+        FeatureMatrix {
+            rows,
+            vscv_len: 2,
+            fscv_len: 2,
+        }
+    }
+
+    #[test]
+    fn separates_the_two_phases() {
+        let sel = select_representatives(&two_phase_matrix(), &MegsimConfig::default());
+        // T = 0.85 may refine each phase into sub-clusters, but no
+        // cluster may mix the two phases (they are far apart).
+        assert!(sel.k() >= 2 && sel.k() <= 8, "k = {} bic = {:?}", sel.k(), sel.bic_scores);
+        assert_eq!(sel.labels.len(), 60);
+        let sizes: Vec<usize> = sel.representatives.iter().map(|r| r.cluster_size).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 60);
+        for c in 0..sel.k() {
+            let members: Vec<usize> = (0..60).filter(|&i| sel.labels[i] == c).collect();
+            assert!(
+                members.iter().all(|m| m % 2 == members[0] % 2),
+                "cluster {c} mixes phases: {members:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn representatives_belong_to_their_clusters() {
+        let sel = select_representatives(&two_phase_matrix(), &MegsimConfig::default());
+        for (c, rep) in sel.representatives.iter().enumerate() {
+            assert_eq!(sel.labels[rep.frame_index], c);
+        }
+    }
+
+    #[test]
+    fn reduction_factor_is_n_over_k() {
+        let sel = select_representatives(&two_phase_matrix(), &MegsimConfig::default());
+        let expected = 60.0 / sel.k() as f64;
+        assert!((sel.reduction_factor() - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let m = two_phase_matrix();
+        let a = select_representatives(&m, &MegsimConfig::default().with_seed(5));
+        let b = select_representatives(&m, &MegsimConfig::default().with_seed(5));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,179 @@
+//! The Similarity Matrix of paper §III-D (Fig. 5/6): an upper-triangular
+//! `N × N` matrix of Euclidean distances between frame characteristic
+//! vectors, with text/PGM renderers for visual inspection.
+
+use megsim_cluster::euclidean_distance;
+
+/// Upper-triangular matrix of pairwise frame distances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityMatrix {
+    n: usize,
+    /// Row-major upper triangle, including the zero diagonal.
+    data: Vec<f64>,
+}
+
+impl SimilarityMatrix {
+    /// Builds the matrix from (normalized) frame vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty.
+    pub fn from_vectors(frames: &[Vec<f64>]) -> Self {
+        assert!(!frames.is_empty(), "similarity of zero frames is undefined");
+        let n = frames.len();
+        let mut data = Vec::with_capacity(n * (n + 1) / 2);
+        for i in 0..n {
+            for j in i..n {
+                data.push(euclidean_distance(&frames[i], &frames[j]));
+            }
+        }
+        Self { n, data }
+    }
+
+    /// Number of frames `N`.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Always false: construction requires at least one frame; provided
+    /// for API symmetry with `len`.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Distance between frames `i` and `j` (symmetric).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn distance(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "frame index out of range");
+        let (a, b) = if i <= j { (i, j) } else { (j, i) };
+        // Elements before row `a` in the packed triangle: Σ_{r<a} (n−r).
+        let before = a * self.n - a * (a + 1) / 2 + a;
+        self.data[before + (b - a)]
+    }
+
+    /// Largest distance in the matrix.
+    pub fn max_distance(&self) -> f64 {
+        self.data.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Renders the matrix as ASCII art (darker = more similar), down-
+    /// sampled to roughly `size × size` characters — the Fig. 5 plot.
+    pub fn render_ascii(&self, size: usize) -> String {
+        let size = size.clamp(1, self.n);
+        let shades = [b'@', b'#', b'%', b'+', b'-', b':', b'.', b' '];
+        let max = self.max_distance().max(f64::MIN_POSITIVE);
+        let mut out = String::with_capacity(size * (size + 1));
+        for by in 0..size {
+            for bx in 0..size {
+                if bx < by {
+                    out.push(' ');
+                    continue;
+                }
+                // Average distance within the block.
+                let (i0, i1) = block_range(by, size, self.n);
+                let (j0, j1) = block_range(bx, size, self.n);
+                let mut sum = 0.0;
+                let mut count = 0usize;
+                for i in i0..i1 {
+                    for j in j0..j1 {
+                        if j >= i {
+                            sum += self.distance(i, j);
+                            count += 1;
+                        }
+                    }
+                }
+                let avg = if count == 0 { max } else { sum / count as f64 };
+                let shade = ((avg / max) * (shades.len() - 1) as f64).round() as usize;
+                out.push(shades[shade.min(shades.len() - 1)] as char);
+            }
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serializes the full matrix as a binary PGM image (P5), darker =
+    /// more similar, for external plotting.
+    pub fn to_pgm(&self) -> Vec<u8> {
+        let max = self.max_distance().max(f64::MIN_POSITIVE);
+        let mut out = format!("P5\n{} {}\n255\n", self.n, self.n).into_bytes();
+        for i in 0..self.n {
+            for j in 0..self.n {
+                let d = self.distance(i.min(j), i.max(j));
+                out.push((d / max * 255.0).round().clamp(0.0, 255.0) as u8);
+            }
+        }
+        out
+    }
+}
+
+fn block_range(block: usize, blocks: usize, n: usize) -> (usize, usize) {
+    let lo = block * n / blocks;
+    let hi = ((block + 1) * n / blocks).max(lo + 1).min(n);
+    (lo, hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vectors() -> Vec<Vec<f64>> {
+        vec![
+            vec![0.0, 0.0],
+            vec![3.0, 4.0],
+            vec![0.0, 0.1],
+            vec![6.0, 8.0],
+        ]
+    }
+
+    #[test]
+    fn diagonal_is_zero() {
+        let m = SimilarityMatrix::from_vectors(&vectors());
+        for i in 0..4 {
+            assert_eq!(m.distance(i, i), 0.0);
+        }
+    }
+
+    #[test]
+    fn distances_are_symmetric_and_correct() {
+        let m = SimilarityMatrix::from_vectors(&vectors());
+        assert_eq!(m.distance(0, 1), 5.0);
+        assert_eq!(m.distance(1, 0), 5.0);
+        assert!((m.distance(0, 2) - 0.1).abs() < 1e-9);
+        assert_eq!(m.distance(0, 3), 10.0);
+        assert_eq!(m.distance(1, 3), 5.0);
+    }
+
+    #[test]
+    fn max_distance_found() {
+        let m = SimilarityMatrix::from_vectors(&vectors());
+        assert_eq!(m.max_distance(), 10.0);
+    }
+
+    #[test]
+    fn ascii_render_has_requested_shape() {
+        let m = SimilarityMatrix::from_vectors(&vectors());
+        let art = m.render_ascii(4);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == 4));
+        // Diagonal blocks are the most similar (darkest shade '@').
+        assert_eq!(lines[0].as_bytes()[0], b'@');
+    }
+
+    #[test]
+    fn pgm_header_and_size() {
+        let m = SimilarityMatrix::from_vectors(&vectors());
+        let pgm = m.to_pgm();
+        assert!(pgm.starts_with(b"P5\n4 4\n255\n"));
+        assert_eq!(pgm.len(), b"P5\n4 4\n255\n".len() + 16);
+    }
+
+    #[test]
+    fn similar_frames_are_darker_than_dissimilar() {
+        let m = SimilarityMatrix::from_vectors(&vectors());
+        assert!(m.distance(0, 2) < m.distance(0, 3));
+    }
+}

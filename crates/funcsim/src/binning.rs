@@ -1,0 +1,157 @@
+//! The Tiling Engine's Polygon List Builder: identifies the screen tiles
+//! overlapped by each primitive and builds per-tile primitive lists
+//! (center of Fig. 1).
+
+use megsim_gfx::draw::Viewport;
+use megsim_gfx::geometry::Primitive;
+
+use crate::activity::FrameActivity;
+use crate::geometry::TransformedDraw;
+
+/// A primitive bound to its originating draw call.
+#[derive(Debug, Clone, Copy)]
+pub struct BinnedPrim {
+    /// Index of the draw call within the frame.
+    pub draw_index: u32,
+    /// The screen-space primitive.
+    pub prim: Primitive,
+}
+
+/// Per-tile primitive lists, in submission order within each tile.
+#[derive(Debug, Clone)]
+pub struct TileBins {
+    /// Flat store of all emitted primitives.
+    pub prims: Vec<BinnedPrim>,
+    /// For each tile (row-major), indices into `prims`.
+    pub bins: Vec<Vec<u32>>,
+}
+
+impl TileBins {
+    /// Tiles that contain at least one primitive, in row-major order.
+    pub fn touched_tiles(&self) -> impl Iterator<Item = (u32, &[u32])> {
+        self.bins
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| !b.is_empty())
+            .map(|(i, b)| (i as u32, b.as_slice()))
+    }
+}
+
+/// Bins every emitted primitive to the tiles its bounding box overlaps
+/// (the conservative binning that bbox-based Polygon List Builders use).
+pub fn bin_primitives(
+    draws: &[TransformedDraw],
+    viewport: Viewport,
+    activity: &mut FrameActivity,
+) -> TileBins {
+    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); viewport.tile_count() as usize];
+    let mut prims = Vec::new();
+    for draw in draws {
+        for prim in &draw.prims {
+            let (min_x, min_y, max_x, max_y) = prim.bounds();
+            let Some((tx0, ty0, tx1, ty1)) = viewport.tiles_overlapping(min_x, min_y, max_x, max_y)
+            else {
+                continue;
+            };
+            let prim_idx = prims.len() as u32;
+            prims.push(BinnedPrim {
+                draw_index: draw.geometry.draw_index,
+                prim: *prim,
+            });
+            for ty in ty0..=ty1 {
+                for tx in tx0..=tx1 {
+                    bins[viewport.tile_index(tx, ty) as usize].push(prim_idx);
+                    activity.tile_bin_entries += 1;
+                }
+            }
+        }
+    }
+    activity.tiles_touched += bins.iter().filter(|b| !b.is_empty()).count() as u64;
+    TileBins { prims, bins }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::DrawGeometry;
+    use megsim_gfx::geometry::ScreenVertex;
+    use megsim_gfx::math::Vec2;
+    use megsim_gfx::shader::ShaderId;
+
+    fn sv(x: f32, y: f32) -> ScreenVertex {
+        ScreenVertex {
+            x,
+            y,
+            z: 0.5,
+            inv_w: 1.0,
+            uv: Vec2::default(),
+        }
+    }
+
+    fn transformed(prims: Vec<Primitive>) -> TransformedDraw {
+        TransformedDraw {
+            geometry: DrawGeometry {
+                draw_index: 0,
+                vertex_shader: ShaderId(0),
+                vertex_shader_instructions: 1,
+                vertex_fetch_addresses: vec![],
+                vertices_shaded: 0,
+                primitives_assembled: prims.len() as u32,
+                primitives_emitted: prims.len() as u32,
+            },
+            prims,
+        }
+    }
+
+    #[test]
+    fn small_triangle_bins_to_one_tile() {
+        let viewport = Viewport::new(128, 128, 32);
+        let prim = Primitive {
+            v: [sv(2.0, 2.0), sv(10.0, 2.0), sv(2.0, 10.0)],
+        };
+        let mut act = FrameActivity::new(1, 1);
+        let bins = bin_primitives(&[transformed(vec![prim])], viewport, &mut act);
+        assert_eq!(act.tile_bin_entries, 1);
+        assert_eq!(act.tiles_touched, 1);
+        assert_eq!(bins.bins[0], vec![0]);
+    }
+
+    #[test]
+    fn spanning_triangle_bins_to_multiple_tiles() {
+        let viewport = Viewport::new(128, 128, 32);
+        // Bbox covers tiles (0,0)..(1,1) = 4 tiles.
+        let prim = Primitive {
+            v: [sv(10.0, 10.0), sv(50.0, 10.0), sv(10.0, 50.0)],
+        };
+        let mut act = FrameActivity::new(1, 1);
+        let bins = bin_primitives(&[transformed(vec![prim])], viewport, &mut act);
+        assert_eq!(act.tile_bin_entries, 4);
+        assert_eq!(bins.touched_tiles().count(), 4);
+    }
+
+    #[test]
+    fn submission_order_is_preserved_within_a_tile() {
+        let viewport = Viewport::new(64, 64, 32);
+        let a = Primitive {
+            v: [sv(1.0, 1.0), sv(5.0, 1.0), sv(1.0, 5.0)],
+        };
+        let b = Primitive {
+            v: [sv(2.0, 2.0), sv(6.0, 2.0), sv(2.0, 6.0)],
+        };
+        let mut act = FrameActivity::new(1, 1);
+        let bins = bin_primitives(&[transformed(vec![a, b])], viewport, &mut act);
+        assert_eq!(bins.bins[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn offscreen_primitive_is_ignored() {
+        let viewport = Viewport::new(64, 64, 32);
+        let prim = Primitive {
+            v: [sv(-50.0, -50.0), sv(-40.0, -50.0), sv(-50.0, -40.0)],
+        };
+        let mut act = FrameActivity::new(1, 1);
+        let bins = bin_primitives(&[transformed(vec![prim])], viewport, &mut act);
+        assert_eq!(act.tile_bin_entries, 0);
+        assert!(bins.prims.is_empty());
+    }
+}

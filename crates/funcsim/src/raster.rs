@@ -1,0 +1,715 @@
+//! The Raster Pipeline: Rasterizer, Early Z-Test, Fragment Processors
+//! and Blending (right half of Fig. 1).
+//!
+//! Three rendering modes are modeled (paper §II-A and §IV-A):
+//!
+//! * **TBR** — tile-based rendering (the paper's baseline): tiles are
+//!   processed one at a time against an on-chip depth buffer; occluded
+//!   fragments that arrive *before* their occluder are still shaded
+//!   (overdraw).
+//! * **TBDR** — tile-based *deferred* rendering with Hidden Surface
+//!   Removal (the PowerVR-style extension the paper names): opaque
+//!   geometry is depth-resolved per tile first, and only the final
+//!   visible fragment of each pixel is shaded.
+//! * **IMR** — immediate-mode rendering: primitives are rasterized in
+//!   submission order against a full-screen depth buffer; there is no
+//!   Tiling Engine, and every shaded color goes to the frame buffer in
+//!   memory immediately (the off-chip-traffic problem §II-A describes).
+
+use megsim_gfx::draw::{DrawCall, Frame, Viewport};
+use megsim_gfx::geometry::Primitive;
+use megsim_gfx::math::{edge_function, Vec2};
+use megsim_gfx::shader::ShaderTable;
+
+use crate::activity::FrameActivity;
+use crate::binning::TileBins;
+use crate::geometry::TransformedDraw;
+use crate::renderer::RenderMode;
+use crate::trace::{QuadTrace, TilePrim, TileTrace};
+
+/// Scratch depth (+ HSR winner) buffer, reused across tiles. On-chip in
+/// real TBR hardware; in DRAM (behind caches) for IMR.
+struct DepthBuffer {
+    depth: Vec<f32>,
+    /// Sequence number of the currently-winning opaque primitive per
+    /// pixel (TBDR only; `u32::MAX` = none).
+    winner: Vec<u32>,
+    width: u32,
+}
+
+impl DepthBuffer {
+    fn new(width: u32, height: u32) -> Self {
+        let n = (width * height) as usize;
+        Self {
+            depth: vec![f32::INFINITY; n],
+            winner: vec![u32::MAX; n],
+            width,
+        }
+    }
+
+    fn clear(&mut self) {
+        self.depth.fill(f32::INFINITY);
+        self.winner.fill(u32::MAX);
+    }
+
+    #[inline]
+    fn index(&self, lx: u32, ly: u32) -> usize {
+        (ly * self.width + lx) as usize
+    }
+}
+
+/// How a primitive interacts with the depth buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DepthPolicy {
+    /// Test and write (opaque, depth-tested geometry).
+    TestWrite,
+    /// Test without writing (blended geometry).
+    TestOnly,
+    /// Always pass (UI layers with depth testing disabled).
+    Always,
+}
+
+impl DepthPolicy {
+    fn of(draw: &DrawCall) -> Self {
+        if !draw.depth_test {
+            DepthPolicy::Always
+        } else if draw.blend.reads_destination() {
+            DepthPolicy::TestOnly
+        } else {
+            DepthPolicy::TestWrite
+        }
+    }
+}
+
+/// Rasterizes a frame in the requested mode, updating `activity` and —
+/// when `collect_trace` is set — returning per-tile (or, for IMR, one
+/// whole-screen pseudo-tile) quad traces for the timing model.
+#[allow(clippy::too_many_arguments)]
+pub fn rasterize_frame(
+    frame: &Frame,
+    draws: &[TransformedDraw],
+    bins: &TileBins,
+    viewport: Viewport,
+    shaders: &ShaderTable,
+    mode: RenderMode,
+    activity: &mut FrameActivity,
+    collect_trace: bool,
+) -> Vec<TileTrace> {
+    match mode {
+        RenderMode::TileBased | RenderMode::TileBasedDeferred => rasterize_tiles(
+            frame,
+            bins,
+            viewport,
+            shaders,
+            mode == RenderMode::TileBasedDeferred,
+            activity,
+            collect_trace,
+        ),
+        RenderMode::Immediate => {
+            rasterize_immediate(frame, draws, viewport, shaders, activity, collect_trace)
+        }
+    }
+}
+
+/// TBR / TBDR path: rasterize tile by tile in bin order.
+fn rasterize_tiles(
+    frame: &Frame,
+    bins: &TileBins,
+    viewport: Viewport,
+    shaders: &ShaderTable,
+    hidden_surface_removal: bool,
+    activity: &mut FrameActivity,
+    collect_trace: bool,
+) -> Vec<TileTrace> {
+    let mut tiles_out = Vec::new();
+    let mut depth = DepthBuffer::new(viewport.tile_size, viewport.tile_size);
+    let tiles_x = viewport.tiles_x();
+    for (tile_index, prim_indices) in bins.touched_tiles() {
+        let tx = tile_index % tiles_x;
+        let ty = tile_index / tiles_x;
+        let rect = viewport.tile_rect(tx, ty);
+        let origin = (rect.0, rect.1);
+        depth.clear();
+        // Pass 1: rasterize every primitive. Opaque prims resolve depth
+        // (and, under HSR, the per-pixel winner); others test only.
+        let mut pending: Vec<(u32, Vec<QuadTrace>)> = Vec::new(); // (prim idx, quads)
+        let mut deferred: Vec<u32> = Vec::new(); // non-opaque prims (HSR)
+        for &pi in prim_indices {
+            let binned = &bins.prims[pi as usize];
+            let draw = &frame.draws[binned.draw_index as usize];
+            let policy = DepthPolicy::of(draw);
+            if hidden_surface_removal && policy != DepthPolicy::TestWrite {
+                // Transparent/UI geometry is shaded after the opaque
+                // resolve in a deferred pipeline.
+                deferred.push(pi);
+                continue;
+            }
+            let winner_seq = if hidden_surface_removal { Some(pi) } else { None };
+            let mut quads = Vec::new();
+            rasterize_prim(
+                &binned.prim,
+                rect,
+                origin,
+                policy,
+                winner_seq,
+                &mut depth,
+                &mut quads,
+            );
+            if !quads.is_empty() {
+                pending.push((pi, quads));
+            }
+        }
+        // Pass 2 (HSR only): keep only the winning fragments of opaque
+        // prims, then shade deferred geometry against the final depth.
+        if hidden_surface_removal {
+            for (pi, quads) in &mut pending {
+                for quad in quads.iter_mut() {
+                    let mut visible = 0u8;
+                    for (bit, (dx, dy)) in [(0u32, 0u32), (1, 0), (0, 1), (1, 1)].iter().enumerate()
+                    {
+                        if quad.coverage & (1 << bit) == 0 {
+                            continue;
+                        }
+                        let lx = u32::from(quad.x) + dx - origin.0;
+                        let ly = u32::from(quad.y) + dy - origin.1;
+                        if depth.winner[depth.index(lx, ly)] == *pi {
+                            visible |= 1 << bit;
+                        }
+                    }
+                    let culled = quad.visible.count_ones() - (quad.visible & visible).count_ones();
+                    activity.fragments_hsr_culled += u64::from(culled);
+                    quad.visible &= visible;
+                }
+            }
+            for &pi in &deferred {
+                let binned = &bins.prims[pi as usize];
+                let draw = &frame.draws[binned.draw_index as usize];
+                let mut quads = Vec::new();
+                rasterize_prim(
+                    &binned.prim,
+                    rect,
+                    origin,
+                    DepthPolicy::of(draw),
+                    None,
+                    &mut depth,
+                    &mut quads,
+                );
+                if !quads.is_empty() {
+                    pending.push((pi, quads));
+                }
+            }
+            // Restore submission order after the deferred append.
+            pending.sort_by_key(|(pi, _)| *pi);
+        }
+        // Counters + trace emission.
+        let mut prims_out = Vec::new();
+        for (pi, quads) in pending {
+            let binned = &bins.prims[pi as usize];
+            let draw = &frame.draws[binned.draw_index as usize];
+            count_prim(draw, &quads, shaders, activity);
+            if collect_trace {
+                let lod = draw
+                    .texture
+                    .map(|t| texture_lod(&binned.prim, t.width, t.height))
+                    .unwrap_or(0);
+                prims_out.push(tile_prim(draw, binned.draw_index, lod, quads));
+            }
+        }
+        if collect_trace && !prims_out.is_empty() {
+            tiles_out.push(TileTrace {
+                tile_index,
+                prims: prims_out,
+            });
+        }
+    }
+    tiles_out
+}
+
+/// IMR path: full-screen depth buffer, strict submission order, one
+/// whole-screen pseudo-tile in the trace.
+fn rasterize_immediate(
+    frame: &Frame,
+    draws: &[TransformedDraw],
+    viewport: Viewport,
+    shaders: &ShaderTable,
+    activity: &mut FrameActivity,
+    collect_trace: bool,
+) -> Vec<TileTrace> {
+    let mut depth = DepthBuffer::new(viewport.width, viewport.height);
+    let rect = (0, 0, viewport.width, viewport.height);
+    let mut prims_out = Vec::new();
+    for transformed in draws {
+        let draw = &frame.draws[transformed.geometry.draw_index as usize];
+        let policy = DepthPolicy::of(draw);
+        for prim in &transformed.prims {
+            let mut quads = Vec::new();
+            rasterize_prim(prim, rect, (0, 0), policy, None, &mut depth, &mut quads);
+            if quads.is_empty() {
+                continue;
+            }
+            count_prim(draw, &quads, shaders, activity);
+            if collect_trace {
+                let lod = draw
+                    .texture
+                    .map(|t| texture_lod(prim, t.width, t.height))
+                    .unwrap_or(0);
+                prims_out.push(tile_prim(draw, transformed.geometry.draw_index, lod, quads));
+            }
+        }
+    }
+    if collect_trace && !prims_out.is_empty() {
+        vec![TileTrace {
+            tile_index: 0,
+            prims: prims_out,
+        }]
+    } else {
+        Vec::new()
+    }
+}
+
+/// Updates the activity counters for one primitive's quads.
+fn count_prim(
+    draw: &DrawCall,
+    quads: &[QuadTrace],
+    shaders: &ShaderTable,
+    activity: &mut FrameActivity,
+) {
+    let fs = shaders.fragment_shader(draw.fragment_shader);
+    let mut covered = 0u64;
+    let mut visible = 0u64;
+    for q in quads {
+        covered += u64::from(q.covered_count());
+        visible += u64::from(q.visible_count());
+    }
+    activity.quads_rasterized += quads.len() as u64;
+    activity.fragments_rasterized += covered;
+    if draw.depth_test {
+        activity.fragments_early_z_culled += covered - visible;
+    }
+    activity.fragments_shaded += visible;
+    activity.fragment_shader_invocations[draw.fragment_shader.0 as usize] += visible;
+    activity.fragment_instructions += visible * u64::from(fs.instruction_count());
+    if draw.texture.is_some() {
+        for filter in &fs.texture_samples {
+            let idx = match filter {
+                megsim_gfx::shader::TextureFilter::Nearest => 0,
+                megsim_gfx::shader::TextureFilter::Linear => 1,
+                megsim_gfx::shader::TextureFilter::Bilinear => 2,
+                megsim_gfx::shader::TextureFilter::Trilinear => 3,
+            };
+            activity.texture_samples[idx] += visible;
+        }
+    }
+    activity.blend_ops += visible;
+}
+
+/// Builds the trace record of one primitive.
+fn tile_prim(draw: &DrawCall, draw_index: u32, lod: u32, quads: Vec<QuadTrace>) -> TilePrim {
+    TilePrim {
+        draw_index,
+        fragment_shader: draw.fragment_shader,
+        texture: draw.texture,
+        blend: draw.blend,
+        depth_test: draw.depth_test,
+        // position(2) + depth + 1/w + uv(2) interpolants.
+        attributes: 6,
+        lod,
+        quads,
+    }
+}
+
+/// Mip level keeping the texel:pixel ratio near one, from the screen-
+/// space UV gradient of the primitive (constant under affine
+/// interpolation).
+pub(crate) fn texture_lod(prim: &Primitive, tex_w: u32, tex_h: u32) -> u32 {
+    let area2 = prim.signed_area2();
+    if area2.abs() < 1e-6 {
+        return 0;
+    }
+    let inv = 1.0 / area2;
+    let [v0, v1, v2] = &prim.v;
+    // Barycentric weight gradients (constant per primitive).
+    let dw0 = Vec2::new(v1.y - v2.y, v2.x - v1.x) * inv;
+    let dw1 = Vec2::new(v2.y - v0.y, v0.x - v2.x) * inv;
+    let dw2 = Vec2::new(v0.y - v1.y, v1.x - v0.x) * inv;
+    let dudx = v0.uv.x * dw0.x + v1.uv.x * dw1.x + v2.uv.x * dw2.x;
+    let dudy = v0.uv.x * dw0.y + v1.uv.x * dw1.y + v2.uv.x * dw2.y;
+    let dvdx = v0.uv.y * dw0.x + v1.uv.y * dw1.x + v2.uv.y * dw2.x;
+    let dvdy = v0.uv.y * dw0.y + v1.uv.y * dw1.y + v2.uv.y * dw2.y;
+    let texels_per_px = (dudx.abs().max(dudy.abs()) * tex_w as f32)
+        .max(dvdx.abs().max(dvdy.abs()) * tex_h as f32);
+    if texels_per_px <= 1.0 {
+        0
+    } else {
+        (texels_per_px.log2().round() as u32).min(16)
+    }
+}
+
+/// Rasterizes one primitive clipped to `rect`, appending the produced
+/// quads. Depth is resolved immediately against `depth` (whose local
+/// coordinates start at `origin`); when `winner_seq` is set, passing
+/// opaque fragments record their primitive in the winner buffer (HSR).
+fn rasterize_prim(
+    prim: &Primitive,
+    (rx0, ry0, rx1, ry1): (u32, u32, u32, u32),
+    origin: (u32, u32),
+    policy: DepthPolicy,
+    winner_seq: Option<u32>,
+    depth: &mut DepthBuffer,
+    quads: &mut Vec<QuadTrace>,
+) {
+    let a = prim.v[0].pos2();
+    let b = prim.v[1].pos2();
+    let c = prim.v[2].pos2();
+    let area2 = prim.signed_area2();
+    debug_assert!(area2 > 0.0, "backfaces culled in geometry");
+    let inv_area2 = 1.0 / area2;
+    // Clamp the primitive bbox to the rect and snap to even pixels so we
+    // walk whole quads (rect corners are even: tiles are 32-aligned and
+    // the IMR rect starts at 0).
+    let (min_x, min_y, max_x, max_y) = prim.bounds();
+    let x0 = (min_x.floor().max(rx0 as f32) as u32) & !1;
+    let y0 = (min_y.floor().max(ry0 as f32) as u32) & !1;
+    let x1 = (max_x.ceil().min(rx1 as f32) as u32).min(rx1);
+    let y1 = (max_y.ceil().min(ry1 as f32) as u32).min(ry1);
+    if x0 >= x1 || y0 >= y1 {
+        return;
+    }
+    // Top-left fill rule flags per edge.
+    let top_left = |p: Vec2, q: Vec2| (p.y == q.y && q.x < p.x) || q.y > p.y;
+    let tl = [top_left(a, b), top_left(b, c), top_left(c, a)];
+    let mut qy = y0;
+    while qy < y1 {
+        let mut qx = x0;
+        while qx < x1 {
+            let mut coverage = 0u8;
+            let mut visible = 0u8;
+            let mut uv_sum = Vec2::default();
+            let mut covered_px = 0u32;
+            for (bit, (dx, dy)) in [(0u32, 0u32), (1, 0), (0, 1), (1, 1)].iter().enumerate() {
+                let px = qx + dx;
+                let py = qy + dy;
+                if px >= x1 || py >= y1 {
+                    continue;
+                }
+                let p = Vec2::new(px as f32 + 0.5, py as f32 + 0.5);
+                let e0 = edge_function(a, b, p);
+                let e1 = edge_function(b, c, p);
+                let e2 = edge_function(c, a, p);
+                let inside = (e0 > 0.0 || (e0 == 0.0 && tl[0]))
+                    && (e1 > 0.0 || (e1 == 0.0 && tl[1]))
+                    && (e2 > 0.0 || (e2 == 0.0 && tl[2]));
+                if !inside {
+                    continue;
+                }
+                coverage |= 1 << bit;
+                covered_px += 1;
+                // Affine barycentric interpolation (e0 spans edge a→b and
+                // therefore weights vertex 2, etc.).
+                let w2 = e0 * inv_area2;
+                let w0 = e1 * inv_area2;
+                let w1 = e2 * inv_area2;
+                let z = prim.v[0].z * w0 + prim.v[1].z * w1 + prim.v[2].z * w2;
+                let uv = prim.v[0].uv * w0 + prim.v[1].uv * w1 + prim.v[2].uv * w2;
+                uv_sum = uv_sum + uv;
+                let idx = depth.index(px - origin.0, py - origin.1);
+                let passes = match policy {
+                    DepthPolicy::Always => true,
+                    DepthPolicy::TestOnly | DepthPolicy::TestWrite => z < depth.depth[idx],
+                };
+                if passes {
+                    visible |= 1 << bit;
+                    if policy == DepthPolicy::TestWrite {
+                        depth.depth[idx] = z;
+                        if let Some(seq) = winner_seq {
+                            depth.winner[idx] = seq;
+                        }
+                    }
+                }
+            }
+            if coverage != 0 {
+                quads.push(QuadTrace {
+                    x: qx as u16,
+                    y: qy as u16,
+                    coverage,
+                    visible,
+                    uv: uv_sum / covered_px.max(1) as f32,
+                });
+            }
+            qx += 2;
+        }
+        qy += 2;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::binning::bin_primitives;
+    use crate::trace::DrawGeometry;
+    use megsim_gfx::draw::BlendMode;
+    use megsim_gfx::geometry::{Mesh, ScreenVertex, Vertex};
+    use megsim_gfx::math::{Mat4, Vec3};
+    use megsim_gfx::shader::{ShaderId, ShaderProgram, TextureFilter};
+    use megsim_gfx::texture::TextureDesc;
+    use std::sync::Arc;
+
+    fn sv(x: f32, y: f32, z: f32) -> ScreenVertex {
+        ScreenVertex {
+            x,
+            y,
+            z,
+            inv_w: 1.0,
+            uv: Vec2::new(x / 64.0, y / 64.0),
+        }
+    }
+
+    fn shaders() -> ShaderTable {
+        let mut t = ShaderTable::new();
+        t.add(ShaderProgram::vertex(0, "vs", 8));
+        t.add(ShaderProgram::fragment(
+            0,
+            "fs",
+            6,
+            vec![TextureFilter::Bilinear],
+        ));
+        t
+    }
+
+    fn dummy_draw(blend: BlendMode, depth_test: bool, textured: bool) -> DrawCall {
+        DrawCall {
+            mesh: Arc::new(Mesh::new(vec![Vertex::at(Vec3::ZERO); 3], vec![0, 1, 2], 0)),
+            transform: Mat4::IDENTITY,
+            vertex_shader: ShaderId(0),
+            fragment_shader: ShaderId(0),
+            texture: textured.then(|| TextureDesc::new(0, 64, 64, 4, 0x1000)),
+            blend,
+            depth_test,
+        }
+    }
+
+    fn transformed(prims: Vec<Primitive>, draw_index: u32) -> TransformedDraw {
+        TransformedDraw {
+            geometry: DrawGeometry {
+                draw_index,
+                vertex_shader: ShaderId(0),
+                vertex_shader_instructions: 8,
+                vertex_fetch_addresses: vec![],
+                vertices_shaded: 3,
+                primitives_assembled: prims.len() as u32,
+                primitives_emitted: prims.len() as u32,
+            },
+            prims,
+        }
+    }
+
+    /// A screen-aligned right triangle covering roughly half of a square
+    /// with corner `(x, y)` and size `s`.
+    fn tri_at(x: f32, y: f32, s: f32, z: f32) -> Primitive {
+        Primitive {
+            v: [sv(x, y, z), sv(x + s, y, z), sv(x, y + s, z)],
+        }
+    }
+
+    fn run_mode(
+        prims_per_draw: Vec<(Vec<Primitive>, DrawCall)>,
+        viewport: Viewport,
+        mode: RenderMode,
+    ) -> (FrameActivity, Vec<TileTrace>) {
+        let mut frame = Frame::new();
+        let mut draws = Vec::new();
+        let mut act = FrameActivity::new(1, 1);
+        for (i, (prims, draw)) in prims_per_draw.into_iter().enumerate() {
+            frame.draws.push(draw);
+            draws.push(transformed(prims, i as u32));
+        }
+        let bins = bin_primitives(&draws, viewport, &mut act);
+        let tiles = rasterize_frame(
+            &frame, &draws, &bins, viewport, &shaders(), mode, &mut act, true,
+        );
+        (act, tiles)
+    }
+
+    #[test]
+    fn tbr_counts_match_covered_area() {
+        let viewport = Viewport::new(64, 64, 32);
+        let (act, tiles) = run_mode(
+            vec![(
+                vec![tri_at(0.0, 0.0, 32.0, 0.5)],
+                dummy_draw(BlendMode::Opaque, true, false),
+            )],
+            viewport,
+            RenderMode::TileBased,
+        );
+        assert!((act.fragments_rasterized as i64 - 512).abs() <= 32);
+        assert_eq!(act.fragments_shaded, act.fragments_rasterized);
+        assert_eq!(act.fragments_early_z_culled, 0);
+        assert_eq!(tiles.len(), 1);
+    }
+
+    #[test]
+    fn tbr_early_z_culls_only_back_to_front_overdraw() {
+        let viewport = Viewport::new(32, 32, 32);
+        // Near first, then far: far is culled by early-Z.
+        let (act, _) = run_mode(
+            vec![(
+                vec![tri_at(0.0, 0.0, 16.0, 0.2), tri_at(0.0, 0.0, 16.0, 0.8)],
+                dummy_draw(BlendMode::Opaque, true, false),
+            )],
+            viewport,
+            RenderMode::TileBased,
+        );
+        assert_eq!(act.fragments_early_z_culled * 2, act.fragments_rasterized);
+        // Far first, then near: both are shaded (overdraw).
+        let (act2, _) = run_mode(
+            vec![(
+                vec![tri_at(0.0, 0.0, 16.0, 0.8), tri_at(0.0, 0.0, 16.0, 0.2)],
+                dummy_draw(BlendMode::Opaque, true, false),
+            )],
+            viewport,
+            RenderMode::TileBased,
+        );
+        assert_eq!(act2.fragments_early_z_culled, 0);
+        assert_eq!(act2.fragments_shaded, act2.fragments_rasterized);
+    }
+
+    #[test]
+    fn tbdr_removes_overdraw_regardless_of_order() {
+        let viewport = Viewport::new(32, 32, 32);
+        // Far first, then near — the worst case for TBR.
+        let (act, _) = run_mode(
+            vec![(
+                vec![tri_at(0.0, 0.0, 16.0, 0.8), tri_at(0.0, 0.0, 16.0, 0.2)],
+                dummy_draw(BlendMode::Opaque, true, false),
+            )],
+            viewport,
+            RenderMode::TileBasedDeferred,
+        );
+        // Only the near triangle's fragments are shaded.
+        assert_eq!(act.fragments_shaded * 2, act.fragments_rasterized);
+        assert!(act.fragments_hsr_culled > 0);
+    }
+
+    #[test]
+    fn tbdr_still_shades_transparents_on_top() {
+        let viewport = Viewport::new(32, 32, 32);
+        let (act, _) = run_mode(
+            vec![
+                (
+                    vec![tri_at(0.0, 0.0, 16.0, 0.5)],
+                    dummy_draw(BlendMode::Opaque, true, false),
+                ),
+                (
+                    vec![tri_at(0.0, 0.0, 16.0, 0.2)],
+                    dummy_draw(BlendMode::AlphaBlend, true, false),
+                ),
+            ],
+            viewport,
+            RenderMode::TileBasedDeferred,
+        );
+        // Opaque + transparent both visible: 2 layers shaded.
+        assert_eq!(act.fragments_shaded, act.fragments_rasterized);
+        assert_eq!(act.fragments_hsr_culled, 0);
+    }
+
+    #[test]
+    fn tbdr_occludes_transparent_behind_opaque() {
+        let viewport = Viewport::new(32, 32, 32);
+        let (act, _) = run_mode(
+            vec![
+                // Transparent submitted first but *behind* the opaque.
+                (
+                    vec![tri_at(0.0, 0.0, 16.0, 0.8)],
+                    dummy_draw(BlendMode::AlphaBlend, true, false),
+                ),
+                (
+                    vec![tri_at(0.0, 0.0, 16.0, 0.2)],
+                    dummy_draw(BlendMode::Opaque, true, false),
+                ),
+            ],
+            viewport,
+            RenderMode::TileBasedDeferred,
+        );
+        // Only the opaque layer is shaded: the transparent fails the
+        // deferred depth test.
+        assert_eq!(act.fragments_shaded * 2, act.fragments_rasterized);
+    }
+
+    #[test]
+    fn imr_produces_single_pseudo_tile_spanning_screen() {
+        let viewport = Viewport::new(128, 128, 32);
+        // A triangle crossing several tile boundaries.
+        let (act, tiles) = run_mode(
+            vec![(
+                vec![tri_at(10.0, 10.0, 100.0, 0.5)],
+                dummy_draw(BlendMode::Opaque, true, false),
+            )],
+            viewport,
+            RenderMode::Immediate,
+        );
+        assert_eq!(tiles.len(), 1);
+        assert_eq!(tiles[0].tile_index, 0);
+        assert!(act.fragments_shaded > 0);
+        // One primitive = one trace entry (no per-tile splitting).
+        assert_eq!(tiles[0].prims.len(), 1);
+    }
+
+    #[test]
+    fn imr_and_tbr_shade_the_same_fragments() {
+        let viewport = Viewport::new(64, 64, 32);
+        let scene = || {
+            vec![(
+                vec![tri_at(4.0, 4.0, 48.0, 0.5), tri_at(10.0, 10.0, 20.0, 0.2)],
+                dummy_draw(BlendMode::Opaque, true, false),
+            )]
+        };
+        let (tbr, _) = run_mode(scene(), viewport, RenderMode::TileBased);
+        let (imr, _) = run_mode(scene(), viewport, RenderMode::Immediate);
+        assert_eq!(tbr.fragments_rasterized, imr.fragments_rasterized);
+        assert_eq!(tbr.fragments_shaded, imr.fragments_shaded);
+    }
+
+    #[test]
+    fn trace_quads_agree_with_counters_in_all_modes() {
+        let viewport = Viewport::new(64, 64, 32);
+        for mode in [
+            RenderMode::TileBased,
+            RenderMode::TileBasedDeferred,
+            RenderMode::Immediate,
+        ] {
+            let (act, tiles) = run_mode(
+                vec![(
+                    vec![tri_at(3.0, 5.0, 20.0, 0.4), tri_at(6.0, 7.0, 18.0, 0.3)],
+                    dummy_draw(BlendMode::Opaque, true, true),
+                )],
+                viewport,
+                mode,
+            );
+            let visible: u64 = tiles
+                .iter()
+                .flat_map(|t| &t.prims)
+                .flat_map(|p| &p.quads)
+                .map(|q| u64::from(q.visible_count()))
+                .sum();
+            assert_eq!(visible, act.fragments_shaded, "{mode:?}");
+        }
+    }
+
+    #[test]
+    fn lod_selection_scales_with_screen_size() {
+        // A triangle whose UVs span [0, 1] regardless of screen size: a
+        // tiny one compresses many texels per pixel (high mip), a big
+        // one approaches 1 texel/pixel (level 0).
+        let unit_uv_tri = |s: f32| {
+            let mut p = tri_at(0.0, 0.0, s, 0.5);
+            p.v[0].uv = Vec2::new(0.0, 0.0);
+            p.v[1].uv = Vec2::new(1.0, 0.0);
+            p.v[2].uv = Vec2::new(0.0, 1.0);
+            p
+        };
+        let small = unit_uv_tri(4.0);
+        let big = unit_uv_tri(512.0);
+        assert!(texture_lod(&small, 512, 512) > texture_lod(&big, 512, 512));
+        assert_eq!(texture_lod(&big, 512, 512), 0);
+    }
+}

@@ -1,0 +1,55 @@
+//! # megsim-gfx
+//!
+//! Graphics-pipeline data types shared by the MEGsim reproduction: linear
+//! algebra, shader cost descriptors, textures, meshes/primitives, draw
+//! calls and tile math.
+//!
+//! These types model the *inputs* of a mobile tile-based-rendering GPU
+//! (see Fig. 1 of the paper): a workload is a sequence of [`draw::Frame`]s,
+//! each an ordered list of [`draw::DrawCall`]s referencing meshes, shader
+//! programs from a [`shader::ShaderTable`] and textures.
+//!
+//! ```
+//! use std::sync::Arc;
+//! use megsim_gfx::prelude::*;
+//!
+//! // A one-triangle frame drawn with shader pair (vs0, fs0).
+//! let mesh = Arc::new(Mesh::new(
+//!     vec![
+//!         Vertex::at(Vec3::new(-1.0, -1.0, 0.0)),
+//!         Vertex::at(Vec3::new(1.0, -1.0, 0.0)),
+//!         Vertex::at(Vec3::new(0.0, 1.0, 0.0)),
+//!     ],
+//!     vec![0, 1, 2],
+//!     0x1000,
+//! ));
+//! let mut frame = Frame::new();
+//! frame.draws.push(DrawCall {
+//!     mesh,
+//!     transform: Mat4::IDENTITY,
+//!     vertex_shader: ShaderId(0),
+//!     fragment_shader: ShaderId(0),
+//!     texture: None,
+//!     blend: BlendMode::Opaque,
+//!     depth_test: true,
+//! });
+//! assert_eq!(frame.submitted_triangles(), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod draw;
+pub mod geometry;
+pub mod math;
+pub mod shader;
+pub mod texture;
+
+/// Convenient glob import of the most-used types.
+pub mod prelude {
+    pub use crate::draw::{BlendMode, DrawCall, Frame, Viewport};
+    pub use crate::geometry::{Mesh, Primitive, ScreenVertex, Vertex};
+    pub use crate::math::{Mat4, Vec2, Vec3, Vec4};
+    pub use crate::shader::{ShaderId, ShaderKind, ShaderProgram, ShaderTable, TextureFilter};
+    pub use crate::texture::{TextureDesc, TextureId};
+}

@@ -1,0 +1,186 @@
+//! Texture descriptors and texel address computation.
+//!
+//! Textures never hold pixel data in this simulator — only the metadata
+//! needed to turn a `(u, v)` sample into the set of memory addresses the
+//! texture caches and DRAM will observe.
+
+use serde::{Deserialize, Serialize};
+
+use crate::math::Vec2;
+use crate::shader::TextureFilter;
+
+/// Identifies a texture within one workload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TextureId(pub u32);
+
+/// Metadata of one texture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TextureDesc {
+    /// Texture identifier.
+    pub id: TextureId,
+    /// Width in texels (power of two).
+    pub width: u32,
+    /// Height in texels (power of two).
+    pub height: u32,
+    /// Bytes per texel (e.g. 4 for RGBA8).
+    pub bytes_per_texel: u32,
+    /// Base address of mip level 0 in the simulated address space.
+    pub base_address: u64,
+}
+
+impl TextureDesc {
+    /// Creates a texture descriptor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dimensions are not powers of two or zero, which
+    /// would break the wrap-around addressing below.
+    pub fn new(id: u32, width: u32, height: u32, bytes_per_texel: u32, base_address: u64) -> Self {
+        assert!(width.is_power_of_two(), "texture width must be a power of two");
+        assert!(height.is_power_of_two(), "texture height must be a power of two");
+        assert!(bytes_per_texel > 0, "texel size must be non-zero");
+        Self {
+            id: TextureId(id),
+            width,
+            height,
+            bytes_per_texel,
+            base_address,
+        }
+    }
+
+    /// Total size in bytes of mip level 0.
+    pub fn level0_bytes(&self) -> u64 {
+        u64::from(self.width) * u64::from(self.height) * u64::from(self.bytes_per_texel)
+    }
+
+    /// Address of the texel at integer coordinates, wrapping (GL_REPEAT).
+    ///
+    /// Texels are stored in 4×4 tiles (Morton-lite layout) so that a
+    /// bilinear footprint usually touches a single cache line, matching
+    /// how mobile GPUs lay out textures.
+    pub fn texel_address(&self, x: i64, y: i64, level: u32) -> u64 {
+        let w = (self.width >> level).max(1);
+        let h = (self.height >> level).max(1);
+        let x = x.rem_euclid(i64::from(w)) as u64;
+        let y = y.rem_euclid(i64::from(h)) as u64;
+        // 4×4 texel blocks, row-major blocks, row-major texels inside.
+        let bw = u64::from(w.div_ceil(4));
+        let block = (y / 4) * bw + x / 4;
+        let within = (y % 4) * 4 + x % 4;
+        self.level_base(level) + (block * 16 + within) * u64::from(self.bytes_per_texel)
+    }
+
+    /// Base address of a mip level.
+    fn level_base(&self, level: u32) -> u64 {
+        let mut base = self.base_address;
+        for l in 0..level {
+            let w = u64::from((self.width >> l).max(1));
+            let h = u64::from((self.height >> l).max(1));
+            base += w * h * u64::from(self.bytes_per_texel);
+        }
+        base
+    }
+
+    /// Highest addressable mip level (down to 1×1).
+    pub fn max_level(&self) -> u32 {
+        self.width.min(self.height).trailing_zeros()
+    }
+
+    /// Generates the memory addresses one sample at `(u, v)` touches for
+    /// the given filter mode at mip level 0, pushing them into `out`.
+    ///
+    /// The number of addresses equals [`TextureFilter::memory_accesses`],
+    /// which is the invariant the paper's §III-B weighting relies on.
+    pub fn sample_addresses(&self, uv: Vec2, filter: TextureFilter, out: &mut Vec<u64>) {
+        self.sample_addresses_lod(uv, filter, 0, out);
+    }
+
+    /// LOD-aware variant of [`TextureDesc::sample_addresses`]: samples at
+    /// mip `level` (clamped to [`TextureDesc::max_level`]), which is how
+    /// the hardware keeps the texel:pixel ratio near one.
+    pub fn sample_addresses_lod(
+        &self,
+        uv: Vec2,
+        filter: TextureFilter,
+        level: u32,
+        out: &mut Vec<u64>,
+    ) {
+        let level = level.min(self.max_level());
+        let w = (self.width >> level).max(1);
+        let h = (self.height >> level).max(1);
+        let x = (uv.x * w as f32).floor() as i64;
+        let y = (uv.y * h as f32).floor() as i64;
+        match filter {
+            TextureFilter::Nearest => out.push(self.texel_address(x, y, level)),
+            TextureFilter::Linear => {
+                out.push(self.texel_address(x, y, level));
+                out.push(self.texel_address(x + 1, y, level));
+            }
+            TextureFilter::Bilinear => {
+                for (dx, dy) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+                    out.push(self.texel_address(x + dx, y + dy, level));
+                }
+            }
+            TextureFilter::Trilinear => {
+                let next = (level + 1).min(self.max_level());
+                for (l, shift) in [(level, 0u32), (next, 1)] {
+                    let lx = x >> shift;
+                    let ly = y >> shift;
+                    for (dx, dy) in [(0, 0), (1, 0), (0, 1), (1, 1)] {
+                        out.push(self.texel_address(lx + dx, ly + dy, l));
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tex() -> TextureDesc {
+        TextureDesc::new(0, 64, 64, 4, 0x1000)
+    }
+
+    #[test]
+    fn sample_address_count_matches_filter_weight() {
+        let t = tex();
+        for filter in TextureFilter::ALL {
+            let mut out = Vec::new();
+            t.sample_addresses(Vec2::new(0.3, 0.7), filter, &mut out);
+            assert_eq!(out.len(), filter.memory_accesses() as usize, "{filter:?}");
+        }
+    }
+
+    #[test]
+    fn addresses_wrap_at_edges() {
+        let t = tex();
+        let a = t.texel_address(-1, 0, 0);
+        let b = t.texel_address(63, 0, 0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mip_level_bases_do_not_overlap() {
+        let t = tex();
+        assert!(t.level_base(1) >= t.base_address + t.level0_bytes());
+    }
+
+    #[test]
+    fn bilinear_footprint_often_shares_cache_line() {
+        // With 4×4×4-byte blocks (64 B = one cache line), a footprint
+        // entirely inside a block touches one line.
+        let t = tex();
+        let mut out = Vec::new();
+        t.sample_addresses(Vec2::new(1.5 / 64.0, 1.5 / 64.0), TextureFilter::Bilinear, &mut out);
+        let lines: std::collections::HashSet<u64> = out.iter().map(|a| a / 64).collect();
+        assert_eq!(lines.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn rejects_non_power_of_two() {
+        let _ = TextureDesc::new(0, 48, 64, 4, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Property-based tests of the geometry/math substrate.
+
+use proptest::prelude::*;
+
+use megsim_gfx::math::{edge_function, signed_area2, Mat4, Vec2, Vec3};
+use megsim_gfx::prelude::*;
+use megsim_gfx::shader::TextureFilter;
+
+fn finite_vec3() -> impl Strategy<Value = Vec3> {
+    (-100.0f32..100.0, -100.0f32..100.0, -100.0f32..100.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+proptest! {
+    #[test]
+    fn matrix_multiplication_is_associative_on_points(
+        a in finite_vec3(), b in finite_vec3(), p in finite_vec3(),
+    ) {
+        let m1 = Mat4::translation(a) * Mat4::scale(Vec3::new(2.0, 0.5, 1.5));
+        let m2 = Mat4::rotation_y(b.x * 0.01) * Mat4::translation(b);
+        let lhs = (m1 * m2).transform_point(p);
+        let rhs = m1.transform(m2.transform_point(p));
+        for (l, r) in [(lhs.x, rhs.x), (lhs.y, rhs.y), (lhs.z, rhs.z), (lhs.w, rhs.w)] {
+            prop_assert!((l - r).abs() <= 1e-2 + l.abs() * 1e-4, "{l} vs {r}");
+        }
+    }
+
+    #[test]
+    fn translation_then_inverse_translation_is_identity(t in finite_vec3(), p in finite_vec3()) {
+        let round = (Mat4::translation(t) * Mat4::translation(-t)).transform_point(p);
+        prop_assert!((round.x - p.x).abs() < 1e-3);
+        prop_assert!((round.y - p.y).abs() < 1e-3);
+        prop_assert!((round.z - p.z).abs() < 1e-3);
+    }
+
+    #[test]
+    fn signed_area_flips_with_winding(
+        ax in -50.0f32..50.0, ay in -50.0f32..50.0,
+        bx in -50.0f32..50.0, by in -50.0f32..50.0,
+        cx in -50.0f32..50.0, cy in -50.0f32..50.0,
+    ) {
+        let a = Vec2::new(ax, ay);
+        let b = Vec2::new(bx, by);
+        let c = Vec2::new(cx, cy);
+        let fwd = signed_area2(a, b, c);
+        let rev = signed_area2(a, c, b);
+        prop_assert!((fwd + rev).abs() <= 1e-3 + fwd.abs() * 1e-4);
+    }
+
+    #[test]
+    fn edge_function_is_zero_on_the_edge(
+        ax in -50.0f32..50.0, ay in -50.0f32..50.0,
+        bx in -50.0f32..50.0, by in -50.0f32..50.0,
+        t in 0.0f32..1.0,
+    ) {
+        let a = Vec2::new(ax, ay);
+        let b = Vec2::new(bx, by);
+        let p = a + (b - a) * t;
+        // Points on the segment evaluate to ~0 relative to segment size.
+        let scale = ((b - a).length() + 1.0) * 50.0;
+        prop_assert!(edge_function(a, b, p).abs() <= scale * 1e-3);
+    }
+
+    #[test]
+    fn texture_addresses_stay_inside_the_mip_chain(
+        u in -4.0f32..4.0, v in -4.0f32..4.0,
+        size_log in 4u32..9,
+        level in 0u32..8,
+    ) {
+        let size = 1u32 << size_log;
+        let tex = TextureDesc::new(0, size, size, 4, 0x100);
+        // Total mip-chain bytes < 2 * level0 (geometric series).
+        let bound = 0x100 + 2 * tex.level0_bytes();
+        for filter in TextureFilter::ALL {
+            let mut out = Vec::new();
+            tex.sample_addresses_lod(Vec2::new(u, v), filter, level, &mut out);
+            prop_assert_eq!(out.len(), filter.memory_accesses() as usize);
+            for addr in out {
+                prop_assert!(addr >= 0x100 && addr < bound, "addr {addr:#x}");
+            }
+        }
+    }
+
+    #[test]
+    fn viewport_tiles_partition_the_screen(
+        w in 1u32..2048, h in 1u32..1200, ts in prop::sample::select(vec![16u32, 32, 64]),
+    ) {
+        let vp = Viewport::new(w, h, ts);
+        // Every pixel belongs to exactly one tile rect.
+        let mut covered = 0u64;
+        for ty in 0..vp.tiles_y() {
+            for tx in 0..vp.tiles_x() {
+                let (x0, y0, x1, y1) = vp.tile_rect(tx, ty);
+                prop_assert!(x1 <= w && y1 <= h);
+                covered += u64::from(x1 - x0) * u64::from(y1 - y0);
+            }
+        }
+        prop_assert_eq!(covered, u64::from(w) * u64::from(h));
+    }
+
+    #[test]
+    fn tiles_overlapping_is_consistent_with_tile_rects(
+        w in 64u32..1024, h in 64u32..1024,
+        min_x in -200.0f32..1200.0, min_y in -200.0f32..1200.0,
+        dx in 0.0f32..300.0, dy in 0.0f32..300.0,
+    ) {
+        let vp = Viewport::new(w, h, 32);
+        if let Some((tx0, ty0, tx1, ty1)) = vp.tiles_overlapping(min_x, min_y, min_x + dx, min_y + dy) {
+            prop_assert!(tx0 <= tx1 && ty0 <= ty1);
+            prop_assert!(tx1 < vp.tiles_x() && ty1 < vp.tiles_y());
+            // The returned range covers the clamped bbox.
+            let (x0, _, _, _) = vp.tile_rect(tx0, ty0);
+            let (_, _, x1, _) = vp.tile_rect(tx1, ty1);
+            prop_assert!(x0 as f32 <= (min_x + dx).max(0.0));
+            prop_assert!(x1 as f32 >= min_x.min(w as f32 - 1.0).max(0.0));
+        } else {
+            // Fully off-screen in at least one axis.
+            prop_assert!(
+                min_x + dx < 0.0 || min_y + dy < 0.0
+                    || min_x >= w as f32 || min_y >= h as f32
+            );
+        }
+    }
+}
+
+#[test]
+fn perspective_divide_recovers_affine_points() {
+    let proj = Mat4::perspective(1.2, 1.6, 0.5, 50.0);
+    // Points strictly inside the frustum map into the unit cube.
+    for z in [-1.0f32, -5.0, -40.0] {
+        let clip = proj.transform_point(Vec3::new(0.1 * z.abs(), -0.05 * z.abs(), z));
+        let ndc = clip.perspective_divide();
+        assert!(ndc.x.abs() <= 1.0 && ndc.y.abs() <= 1.0 && ndc.z.abs() <= 1.0, "z = {z}: {ndc:?}");
+    }
+}

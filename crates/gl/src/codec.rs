@@ -1,0 +1,425 @@
+//! Binary trace-file codec.
+//!
+//! TEAPOT stores intercepted GL commands in trace files; the paper's
+//! conclusions explicitly count "the cost in time and storage (for the
+//! trace files)" among what MEGsim reduces. This module provides a
+//! compact little-endian binary format for [`CommandStream`]s:
+//!
+//! ```text
+//! magic "MGLT" | version u16 | command count u64 | commands...
+//! command = opcode u8 | payload (opcode-specific)
+//! ```
+
+use std::fmt;
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use megsim_gfx::draw::BlendMode;
+use megsim_gfx::geometry::{Mesh, Vertex};
+use megsim_gfx::math::{Mat4, Vec2, Vec3, Vec4};
+use megsim_gfx::shader::{ShaderId, ShaderKind, ShaderProgram, TextureFilter};
+use megsim_gfx::texture::{TextureDesc, TextureId};
+
+use crate::command::{BufferId, Command, CommandStream};
+
+/// Current format version.
+pub const FORMAT_VERSION: u16 = 1;
+
+const MAGIC: &[u8; 4] = b"MGLT";
+
+/// Error produced while decoding a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The magic bytes are wrong — not a trace file.
+    BadMagic,
+    /// The format version is unsupported.
+    BadVersion(u16),
+    /// The buffer ended in the middle of a command.
+    Truncated,
+    /// An opcode or enum discriminant is unknown.
+    BadValue(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not a MGLT trace file"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            DecodeError::Truncated => write!(f, "trace file is truncated"),
+            DecodeError::BadValue(what) => write!(f, "invalid {what} in trace file"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serializes a stream into bytes.
+pub fn encode(stream: &CommandStream) -> Bytes {
+    let mut out = BytesMut::with_capacity(64 + stream.commands.len() * 16);
+    out.put_slice(MAGIC);
+    out.put_u16_le(FORMAT_VERSION);
+    out.put_u64_le(stream.commands.len() as u64);
+    for cmd in &stream.commands {
+        out.put_u8(cmd.opcode());
+        match cmd {
+            Command::BufferData { id, mesh } => {
+                out.put_u32_le(id.0);
+                out.put_u64_le(mesh.base_address);
+                out.put_u32_le(mesh.vertices.len() as u32);
+                for v in &mesh.vertices {
+                    for f in [
+                        v.position.x, v.position.y, v.position.z, v.normal.x, v.normal.y,
+                        v.normal.z, v.uv.x, v.uv.y,
+                    ] {
+                        out.put_f32_le(f);
+                    }
+                }
+                out.put_u32_le(mesh.indices.len() as u32);
+                for &i in &mesh.indices {
+                    out.put_u32_le(i);
+                }
+            }
+            Command::TexImage(t) => {
+                out.put_u32_le(t.id.0);
+                out.put_u32_le(t.width);
+                out.put_u32_le(t.height);
+                out.put_u32_le(t.bytes_per_texel);
+                out.put_u64_le(t.base_address);
+            }
+            Command::ProgramData(p) => {
+                out.put_u32_le(p.id.0);
+                out.put_u8(match p.kind {
+                    ShaderKind::Vertex => 0,
+                    ShaderKind::Fragment => 1,
+                });
+                let name = p.name.as_bytes();
+                out.put_u16_le(name.len() as u16);
+                out.put_slice(name);
+                out.put_u32_le(p.alu_instructions);
+                out.put_u16_le(p.texture_samples.len() as u16);
+                for f in &p.texture_samples {
+                    out.put_u8(match f {
+                        TextureFilter::Nearest => 0,
+                        TextureFilter::Linear => 1,
+                        TextureFilter::Bilinear => 2,
+                        TextureFilter::Trilinear => 3,
+                    });
+                }
+            }
+            Command::UseProgram { vertex, fragment } => {
+                out.put_u32_le(vertex.0);
+                out.put_u32_le(fragment.0);
+            }
+            Command::BindTexture(t) => match t {
+                Some(id) => {
+                    out.put_u8(1);
+                    out.put_u32_le(id.0);
+                }
+                None => out.put_u8(0),
+            },
+            Command::UniformMatrix(m) => {
+                for col in &m.cols {
+                    for f in [col.x, col.y, col.z, col.w] {
+                        out.put_f32_le(f);
+                    }
+                }
+            }
+            Command::Blend(b) => out.put_u8(match b {
+                BlendMode::Opaque => 0,
+                BlendMode::AlphaBlend => 1,
+                BlendMode::Additive => 2,
+            }),
+            Command::DepthTest(d) => out.put_u8(u8::from(*d)),
+            Command::Draw(id) => out.put_u32_le(id.0),
+            Command::SwapBuffers => {}
+        }
+    }
+    out.freeze()
+}
+
+macro_rules! need {
+    ($buf:expr, $n:expr) => {
+        if $buf.remaining() < $n {
+            return Err(DecodeError::Truncated);
+        }
+    };
+}
+
+/// Deserializes a stream from bytes.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input; never panics on
+/// arbitrary bytes.
+pub fn decode(mut data: &[u8]) -> Result<CommandStream, DecodeError> {
+    need!(data, 4);
+    let mut magic = [0u8; 4];
+    data.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    need!(data, 2 + 8);
+    let version = data.get_u16_le();
+    if version != FORMAT_VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let count = data.get_u64_le() as usize;
+    // Guard against absurd counts from corrupt headers: each command is
+    // at least 1 byte.
+    if count > data.remaining() {
+        return Err(DecodeError::Truncated);
+    }
+    let mut commands = Vec::with_capacity(count.min(1 << 20));
+    for _ in 0..count {
+        need!(data, 1);
+        let opcode = data.get_u8();
+        let cmd = match opcode {
+            0 => {
+                need!(data, 4 + 8 + 4);
+                let id = BufferId(data.get_u32_le());
+                let base_address = data.get_u64_le();
+                let n_verts = data.get_u32_le() as usize;
+                need!(data, n_verts * 32 + 4);
+                let mut vertices = Vec::with_capacity(n_verts);
+                for _ in 0..n_verts {
+                    let mut f = [0.0f32; 8];
+                    for slot in &mut f {
+                        *slot = data.get_f32_le();
+                    }
+                    vertices.push(Vertex {
+                        position: Vec3::new(f[0], f[1], f[2]),
+                        normal: Vec3::new(f[3], f[4], f[5]),
+                        uv: Vec2::new(f[6], f[7]),
+                    });
+                }
+                let n_idx = data.get_u32_le() as usize;
+                need!(data, n_idx * 4);
+                let mut indices = Vec::with_capacity(n_idx);
+                for _ in 0..n_idx {
+                    indices.push(data.get_u32_le());
+                }
+                if n_idx % 3 != 0 || indices.iter().any(|&i| i as usize >= n_verts) {
+                    return Err(DecodeError::BadValue("mesh indices"));
+                }
+                Command::BufferData {
+                    id,
+                    mesh: Mesh::new(vertices, indices, base_address),
+                }
+            }
+            1 => {
+                need!(data, 4 * 4 + 8);
+                let id = data.get_u32_le();
+                let width = data.get_u32_le();
+                let height = data.get_u32_le();
+                let bpt = data.get_u32_le();
+                let base = data.get_u64_le();
+                if !width.is_power_of_two() || !height.is_power_of_two() || bpt == 0 {
+                    return Err(DecodeError::BadValue("texture geometry"));
+                }
+                Command::TexImage(TextureDesc::new(id, width, height, bpt, base))
+            }
+            2 => {
+                need!(data, 4 + 1 + 2);
+                let id = data.get_u32_le();
+                let kind = match data.get_u8() {
+                    0 => ShaderKind::Vertex,
+                    1 => ShaderKind::Fragment,
+                    _ => return Err(DecodeError::BadValue("shader kind")),
+                };
+                let name_len = data.get_u16_le() as usize;
+                need!(data, name_len);
+                let mut name = vec![0u8; name_len];
+                data.copy_to_slice(&mut name);
+                let name =
+                    String::from_utf8(name).map_err(|_| DecodeError::BadValue("shader name"))?;
+                need!(data, 4 + 2);
+                let alu = data.get_u32_le();
+                let n_samples = data.get_u16_le() as usize;
+                need!(data, n_samples);
+                let mut samples = Vec::with_capacity(n_samples);
+                for _ in 0..n_samples {
+                    samples.push(match data.get_u8() {
+                        0 => TextureFilter::Nearest,
+                        1 => TextureFilter::Linear,
+                        2 => TextureFilter::Bilinear,
+                        3 => TextureFilter::Trilinear,
+                        _ => return Err(DecodeError::BadValue("texture filter")),
+                    });
+                }
+                Command::ProgramData(ShaderProgram {
+                    id: ShaderId(id),
+                    kind,
+                    name,
+                    alu_instructions: alu,
+                    texture_samples: samples,
+                })
+            }
+            3 => {
+                need!(data, 8);
+                Command::UseProgram {
+                    vertex: ShaderId(data.get_u32_le()),
+                    fragment: ShaderId(data.get_u32_le()),
+                }
+            }
+            4 => {
+                need!(data, 1);
+                match data.get_u8() {
+                    0 => Command::BindTexture(None),
+                    1 => {
+                        need!(data, 4);
+                        Command::BindTexture(Some(TextureId(data.get_u32_le())))
+                    }
+                    _ => return Err(DecodeError::BadValue("texture binding")),
+                }
+            }
+            5 => {
+                need!(data, 64);
+                let mut cols = [Vec4::default(); 4];
+                for col in &mut cols {
+                    *col = Vec4::new(
+                        data.get_f32_le(),
+                        data.get_f32_le(),
+                        data.get_f32_le(),
+                        data.get_f32_le(),
+                    );
+                }
+                Command::UniformMatrix(Mat4 { cols })
+            }
+            6 => {
+                need!(data, 1);
+                Command::Blend(match data.get_u8() {
+                    0 => BlendMode::Opaque,
+                    1 => BlendMode::AlphaBlend,
+                    2 => BlendMode::Additive,
+                    _ => return Err(DecodeError::BadValue("blend mode")),
+                })
+            }
+            7 => {
+                need!(data, 1);
+                Command::DepthTest(match data.get_u8() {
+                    0 => false,
+                    1 => true,
+                    _ => return Err(DecodeError::BadValue("depth flag")),
+                })
+            }
+            8 => {
+                need!(data, 4);
+                Command::Draw(BufferId(data.get_u32_le()))
+            }
+            9 => Command::SwapBuffers,
+            _ => return Err(DecodeError::BadValue("opcode")),
+        };
+        commands.push(cmd);
+    }
+    Ok(CommandStream { commands })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::record_sequence;
+    use megsim_gfx::draw::{DrawCall, Frame};
+    use std::sync::Arc;
+
+    fn sample_stream() -> CommandStream {
+        let mut shaders = megsim_gfx::shader::ShaderTable::new();
+        shaders.add(ShaderProgram::vertex(0, "vs", 9));
+        shaders.add(ShaderProgram::fragment(
+            0,
+            "fs",
+            4,
+            vec![TextureFilter::Trilinear],
+        ));
+        let mesh = Arc::new(Mesh::new(
+            vec![
+                Vertex::at(Vec3::new(-0.3, -0.3, 0.0)),
+                Vertex::at(Vec3::new(0.3, -0.3, 0.0)),
+                Vertex::at(Vec3::new(0.0, 0.3, 0.0)),
+            ],
+            vec![0, 1, 2],
+            0x77,
+        ));
+        let mut frame = Frame::new();
+        frame.draws.push(DrawCall {
+            mesh,
+            transform: Mat4::rotation_y(0.3),
+            vertex_shader: ShaderId(0),
+            fragment_shader: ShaderId(0),
+            texture: Some(TextureDesc::new(2, 128, 64, 4, 0xFEED)),
+            blend: BlendMode::Additive,
+            depth_test: true,
+        });
+        record_sequence(&shaders, &[frame])
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let stream = sample_stream();
+        let bytes = encode(&stream);
+        let back = decode(&bytes).expect("roundtrip");
+        assert_eq!(stream, back);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(decode(b"NOPE\x01\x00"), Err(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut bytes = encode(&sample_stream()).to_vec();
+        bytes[4] = 0xFF;
+        assert!(matches!(decode(&bytes), Err(DecodeError::BadVersion(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_length() {
+        let bytes = encode(&sample_stream());
+        // Every strict prefix must fail cleanly, never panic.
+        for len in 0..bytes.len() {
+            let r = decode(&bytes[..len]);
+            assert!(r.is_err(), "prefix of {len} bytes decoded");
+        }
+    }
+
+    #[test]
+    fn rejects_corrupt_opcode() {
+        let mut bytes = encode(&sample_stream()).to_vec();
+        // First opcode byte follows the 14-byte header.
+        bytes[14] = 0xEE;
+        assert_eq!(decode(&bytes), Err(DecodeError::BadValue("opcode")));
+    }
+
+    #[test]
+    fn trace_is_compact_relative_to_frame_dump() {
+        // 50 frames sharing one mesh: the trace stores the mesh once.
+        let mut shaders = megsim_gfx::shader::ShaderTable::new();
+        shaders.add(ShaderProgram::vertex(0, "v", 3));
+        shaders.add(ShaderProgram::fragment(0, "f", 3, vec![]));
+        let mesh = Arc::new(Mesh::new(
+            vec![Vertex::at(Vec3::ZERO); 300],
+            (0..300u32).collect(),
+            0,
+        ));
+        let frames: Vec<Frame> = (0..50)
+            .map(|i| {
+                let mut f = Frame::new();
+                f.draws.push(DrawCall {
+                    mesh: Arc::clone(&mesh),
+                    transform: Mat4::rotation_y(i as f32 * 0.1),
+                    vertex_shader: ShaderId(0),
+                    fragment_shader: ShaderId(0),
+                    texture: None,
+                    blend: BlendMode::Opaque,
+                    depth_test: true,
+                });
+                f
+            })
+            .collect();
+        let stream = record_sequence(&shaders, &frames);
+        let encoded = encode(&stream);
+        let mesh_bytes = 300 * 32 + 300 * 4;
+        // One mesh upload (~10.9 KB) + 50 × (matrix + draw + swap).
+        assert!(encoded.len() < mesh_bytes + 50 * 80 + 256);
+    }
+}

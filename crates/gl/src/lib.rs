@@ -1,0 +1,38 @@
+//! # megsim-gl
+//!
+//! OpenGL-style command streams — the role of TEAPOT's *OpenGL trace
+//! generator*, which intercepts the GL commands an Android application
+//! issues and stores them in trace files for the simulators to replay.
+//!
+//! * [`command`] — the GL-like command vocabulary and [`CommandStream`]
+//! * [`recorder`] — records frame sequences into deduplicated streams
+//! * [`player`] — replays a stream through a GL state machine back into
+//!   frames (validating resource references)
+//! * [`codec`] — the compact binary trace-file format (`MGLT`)
+//!
+//! ```
+//! use megsim_gl::{decode, encode, play, record_sequence};
+//! use megsim_workloads::by_alias;
+//!
+//! let workload = by_alias("hcr", 0.005, 1).expect("known alias");
+//! let frames: Vec<_> = workload.iter_frames().collect();
+//! // Record, serialize to a trace file, read it back, replay.
+//! let stream = record_sequence(workload.shaders(), &frames);
+//! let file = encode(&stream);
+//! let replay = play(&decode(&file).expect("valid trace")).expect("valid stream");
+//! assert_eq!(replay.frames.len(), frames.len());
+//! assert_eq!(replay.shaders.vertex_count(), workload.shaders().vertex_count());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod command;
+pub mod player;
+pub mod recorder;
+
+pub use codec::{decode, encode, DecodeError, FORMAT_VERSION};
+pub use command::{BufferId, Command, CommandStream};
+pub use player::{play, PlayError, Replay};
+pub use recorder::{record_sequence, Recorder};

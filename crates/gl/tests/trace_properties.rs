@@ -1,0 +1,58 @@
+//! Property tests of the GL trace layer: record/replay fidelity on real
+//! workloads and decoder robustness against arbitrary bytes.
+
+use proptest::prelude::*;
+
+use megsim_gl::{decode, encode, play, record_sequence};
+use megsim_workloads::{build, BENCHMARKS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The full TEAPOT-style loop — record a workload, write the trace
+    /// file, read it back, replay — must reproduce every draw call.
+    #[test]
+    fn workload_trace_roundtrip(bench in 0usize..8, seed in 0u64..50) {
+        let w = build(&BENCHMARKS[bench], 0.002, seed);
+        let frames: Vec<_> = w.iter_frames().collect();
+        let stream = record_sequence(w.shaders(), &frames);
+        let bytes = encode(&stream);
+        let decoded = decode(&bytes).expect("self-produced trace decodes");
+        prop_assert_eq!(&stream, &decoded);
+        let replay = play(&decoded).expect("self-produced trace plays");
+        prop_assert_eq!(replay.frames.len(), frames.len());
+        prop_assert_eq!(replay.shaders.vertex_count(), w.shaders().vertex_count());
+        prop_assert_eq!(replay.shaders.fragment_count(), w.shaders().fragment_count());
+        for (orig, back) in frames.iter().zip(&replay.frames) {
+            prop_assert_eq!(orig.draws.len(), back.draws.len());
+            for (a, b) in orig.draws.iter().zip(&back.draws) {
+                prop_assert_eq!(&*a.mesh, &*b.mesh);
+                prop_assert_eq!(a.transform, b.transform);
+                prop_assert_eq!(a.vertex_shader, b.vertex_shader);
+                prop_assert_eq!(a.fragment_shader, b.fragment_shader);
+                prop_assert_eq!(a.texture, b.texture);
+                prop_assert_eq!(a.blend, b.blend);
+                prop_assert_eq!(a.depth_test, b.depth_test);
+            }
+        }
+    }
+
+    /// The decoder must never panic on arbitrary input.
+    #[test]
+    fn decoder_survives_garbage(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let _ = decode(&bytes);
+    }
+
+    /// Bit-flipping a valid trace must either decode to *something* or
+    /// fail cleanly — never panic.
+    #[test]
+    fn decoder_survives_corruption(bench in 0usize..4, flip in 0usize..4096, bit in 0u8..8) {
+        let w = build(&BENCHMARKS[bench], 0.001, 3);
+        let frames: Vec<_> = w.iter_frames().take(3).collect();
+        let stream = record_sequence(w.shaders(), &frames);
+        let mut bytes = encode(&stream).to_vec();
+        let idx = flip % bytes.len();
+        bytes[idx] ^= 1 << bit;
+        let _ = decode(&bytes);
+    }
+}

@@ -1,0 +1,137 @@
+//! Simulated physical address-space layout.
+//!
+//! The 1 GiB main memory of Table I is partitioned into fixed regions so
+//! the different producers (vertex buffers, textures, the Tiling Engine's
+//! polygon lists, the frame buffer) generate disjoint, realistic address
+//! streams without a full allocator.
+
+/// Region layout of the simulated 1 GiB memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressSpace;
+
+impl AddressSpace {
+    /// Vertex buffers live here.
+    pub const VERTEX_BASE: u64 = 0x0000_0000;
+    /// Texture data lives here.
+    pub const TEXTURE_BASE: u64 = 0x1000_0000;
+    /// Scene buffer (polygon lists written by the Tiling Engine).
+    pub const SCENE_BUFFER_BASE: u64 = 0x2000_0000;
+    /// Frame buffer (final colors flushed per tile).
+    pub const FRAMEBUFFER_BASE: u64 = 0x3000_0000;
+    /// Depth buffer in memory (used by immediate-mode rendering; TBR
+    /// keeps depth on-chip).
+    pub const DEPTH_BASE: u64 = 0x3900_0000;
+    /// Total simulated memory size (Table I: 1 GiB).
+    pub const SIZE: u64 = 1 << 30;
+
+    /// Bytes of one polygon-list entry in the scene buffer.
+    ///
+    /// Matches the Triangle & Tile queue entry size of Table I (388 B
+    /// holds a triangle's post-transform attributes; a list entry stores
+    /// a compact reference plus state, modeled as 16 B).
+    pub const POLYGON_LIST_ENTRY_BYTES: u64 = 16;
+
+    /// Address of the `n`-th polygon-list entry of tile `tile_index`.
+    ///
+    /// Each tile owns a fixed-size bin region; `ENTRIES_PER_TILE_BIN`
+    /// entries wrap around (real hardware chains additional blocks — the
+    /// wrap keeps addresses bounded while preserving locality). The
+    /// per-tile stride is skewed by one cache line so bins of different
+    /// tiles spread across cache sets instead of aliasing onto one (the
+    /// same trick drivers use when laying out tile lists).
+    pub fn polygon_list_entry(tile_index: u32, n: u64) -> u64 {
+        const ENTRIES_PER_TILE_BIN: u64 = 1024;
+        const BIN_STRIDE: u64 =
+            ENTRIES_PER_TILE_BIN * AddressSpace::POLYGON_LIST_ENTRY_BYTES + 64;
+        let slot = n % ENTRIES_PER_TILE_BIN;
+        Self::SCENE_BUFFER_BASE
+            + u64::from(tile_index) * BIN_STRIDE
+            + slot * Self::POLYGON_LIST_ENTRY_BYTES
+    }
+
+    /// Frame-buffer address of pixel `(x, y)` for a `width`-pixel target
+    /// (4 bytes per pixel, double-buffer parity selected by `frame_parity`).
+    pub fn framebuffer_pixel(x: u32, y: u32, width: u32, frame_parity: u64) -> u64 {
+        let buf = (frame_parity % 2) * 0x0080_0000;
+        Self::FRAMEBUFFER_BASE + buf + (u64::from(y) * u64::from(width) + u64::from(x)) * 4
+    }
+
+    /// Depth-buffer address of pixel `(x, y)` (4-byte depth, single
+    /// buffer — depth is not scanned out).
+    pub fn depth_pixel(x: u32, y: u32, width: u32) -> u64 {
+        Self::DEPTH_BASE + (u64::from(y) * u64::from(width) + u64::from(x)) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn regions_are_disjoint_and_ordered() {
+        assert!(AddressSpace::VERTEX_BASE < AddressSpace::TEXTURE_BASE);
+        assert!(AddressSpace::TEXTURE_BASE < AddressSpace::SCENE_BUFFER_BASE);
+        assert!(AddressSpace::SCENE_BUFFER_BASE < AddressSpace::FRAMEBUFFER_BASE);
+        assert!(AddressSpace::FRAMEBUFFER_BASE < AddressSpace::SIZE);
+    }
+
+    #[test]
+    fn polygon_list_entries_are_contiguous_within_a_tile() {
+        let a = AddressSpace::polygon_list_entry(3, 0);
+        let b = AddressSpace::polygon_list_entry(3, 1);
+        assert_eq!(b - a, AddressSpace::POLYGON_LIST_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn polygon_list_bins_do_not_collide_across_tiles() {
+        let end_of_t0 = AddressSpace::polygon_list_entry(0, 1023);
+        let start_of_t1 = AddressSpace::polygon_list_entry(1, 0);
+        assert!(start_of_t1 > end_of_t0);
+    }
+
+    #[test]
+    fn polygon_list_wraps_within_bin() {
+        assert_eq!(
+            AddressSpace::polygon_list_entry(0, 0),
+            AddressSpace::polygon_list_entry(0, 1024)
+        );
+    }
+
+    #[test]
+    fn polygon_list_bins_spread_across_cache_sets() {
+        // With 256-set caches (32 KiB, 64 B lines, 2-way), consecutive
+        // tiles must land in different sets — the skewed stride
+        // guarantees it.
+        let set_of = |addr: u64| (addr / 64) % 256;
+        let distinct: std::collections::HashSet<u64> = (0..256u32)
+            .map(|t| set_of(AddressSpace::polygon_list_entry(t, 0)))
+            .collect();
+        assert!(distinct.len() >= 128, "sets used: {}", distinct.len());
+    }
+
+    #[test]
+    fn framebuffer_double_buffering_alternates() {
+        let a = AddressSpace::framebuffer_pixel(0, 0, 1440, 0);
+        let b = AddressSpace::framebuffer_pixel(0, 0, 1440, 1);
+        let c = AddressSpace::framebuffer_pixel(0, 0, 1440, 2);
+        assert_ne!(a, b);
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn depth_region_is_disjoint_from_framebuffer() {
+        let fb_top = AddressSpace::framebuffer_pixel(1439, 719, 1440, 1);
+        assert!(AddressSpace::DEPTH_BASE > fb_top);
+        assert_eq!(
+            AddressSpace::depth_pixel(1, 0, 100) - AddressSpace::depth_pixel(0, 0, 100),
+            4
+        );
+    }
+
+    #[test]
+    fn framebuffer_rows_are_pitch_apart() {
+        let a = AddressSpace::framebuffer_pixel(0, 0, 100, 0);
+        let b = AddressSpace::framebuffer_pixel(0, 1, 100, 0);
+        assert_eq!(b - a, 400);
+    }
+}

@@ -1,0 +1,335 @@
+//! Set-associative write-back cache model with LRU replacement.
+//!
+//! Models the caches of Table I (vertex cache, texture caches, tile
+//! cache, L2): 64-byte lines, 2-way associativity, configurable size,
+//! banks and access latency. The model is *functional + counting*: it
+//! tracks hit/miss/writeback behaviour exactly, while latency is consumed
+//! by the timing crate.
+
+use serde::{Deserialize, Serialize};
+
+/// Static configuration of one cache.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Human-readable name used in stats dumps (e.g. `"L2"`).
+    pub name: String,
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Line size in bytes (Table I: 64).
+    pub line_size: u64,
+    /// Associativity (Table I: 2-way).
+    pub ways: u32,
+    /// Number of banks (affects throughput in the timing model).
+    pub banks: u32,
+    /// Hit latency in GPU cycles.
+    pub latency: u64,
+}
+
+impl CacheConfig {
+    /// Creates a configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if sizes are not powers of two or the geometry is
+    /// inconsistent (capacity not divisible by `line_size * ways`).
+    pub fn new(
+        name: impl Into<String>,
+        size_bytes: u64,
+        line_size: u64,
+        ways: u32,
+        banks: u32,
+        latency: u64,
+    ) -> Self {
+        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(ways > 0 && banks > 0, "ways and banks must be non-zero");
+        assert_eq!(
+            size_bytes % (line_size * u64::from(ways)),
+            0,
+            "capacity must be divisible by line_size * ways"
+        );
+        let sets = size_bytes / (line_size * u64::from(ways));
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        Self {
+            name: name.into(),
+            size_bytes,
+            line_size,
+            ways,
+            banks,
+            latency,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.size_bytes / (self.line_size * u64::from(self.ways))
+    }
+}
+
+/// Hit/miss and traffic counters of one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Read accesses.
+    pub reads: u64,
+    /// Write accesses.
+    pub writes: u64,
+    /// Hits (reads + writes).
+    pub hits: u64,
+    /// Misses (reads + writes).
+    pub misses: u64,
+    /// Dirty lines written back on eviction or flush.
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Miss ratio in `[0, 1]`; zero when the cache was never accessed.
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+
+    /// Accumulates another stats block (used when merging frames).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.writebacks += other.writebacks;
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    /// Monotonic counter value of the last touch (for LRU).
+    last_use: u64,
+}
+
+/// Result of one cache access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheAccess {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Address of a dirty line evicted to make room, if any.
+    pub writeback: Option<u64>,
+}
+
+/// A set-associative write-back, write-allocate cache.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    tick: u64,
+    stats: CacheStats,
+    set_mask: u64,
+    line_shift: u32,
+}
+
+impl Cache {
+    /// Builds a cold cache from its configuration.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        let lines = vec![Line::default(); (sets * u64::from(config.ways)) as usize];
+        let line_shift = config.line_size.trailing_zeros();
+        Self {
+            set_mask: sets - 1,
+            line_shift,
+            lines,
+            tick: 0,
+            stats: CacheStats::default(),
+            config,
+        }
+    }
+
+    /// The cache's configuration.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+
+    /// Resets counters but keeps cache contents (used between frames to
+    /// attribute traffic per frame while modelling warm caches).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Bank servicing `addr` (line-interleaved).
+    pub fn bank_of(&self, addr: u64) -> u32 {
+        ((addr >> self.line_shift) % u64::from(self.config.banks)) as u32
+    }
+
+    /// Accesses `addr`; returns hit/miss and any writeback generated.
+    pub fn access(&mut self, addr: u64, is_write: bool) -> CacheAccess {
+        self.tick += 1;
+        if is_write {
+            self.stats.writes += 1;
+        } else {
+            self.stats.reads += 1;
+        }
+        let line_addr = addr >> self.line_shift;
+        let set = (line_addr & self.set_mask) as usize;
+        let tag = line_addr >> self.set_mask.count_ones();
+        let ways = self.config.ways as usize;
+        let base = set * ways;
+        // Hit path.
+        for way in 0..ways {
+            let line = &mut self.lines[base + way];
+            if line.valid && line.tag == tag {
+                line.last_use = self.tick;
+                line.dirty |= is_write;
+                self.stats.hits += 1;
+                return CacheAccess {
+                    hit: true,
+                    writeback: None,
+                };
+            }
+        }
+        // Miss: find victim (invalid first, else LRU).
+        self.stats.misses += 1;
+        let mut victim = base;
+        for way in 0..ways {
+            let line = &self.lines[base + way];
+            if !line.valid {
+                victim = base + way;
+                break;
+            }
+            if line.last_use < self.lines[victim].last_use {
+                victim = base + way;
+            }
+        }
+        let evicted = self.lines[victim];
+        let writeback = if evicted.valid && evicted.dirty {
+            self.stats.writebacks += 1;
+            let victim_line = (evicted.tag << self.set_mask.count_ones()) | set as u64;
+            Some(victim_line << self.line_shift)
+        } else {
+            None
+        };
+        self.lines[victim] = Line {
+            tag,
+            valid: true,
+            dirty: is_write,
+            last_use: self.tick,
+        };
+        CacheAccess {
+            hit: false,
+            writeback,
+        }
+    }
+
+    /// Writes back all dirty lines and invalidates the cache, returning
+    /// the number of writebacks produced (end-of-frame flush).
+    pub fn flush(&mut self) -> u64 {
+        let mut wb = 0;
+        for line in &mut self.lines {
+            if line.valid && line.dirty {
+                wb += 1;
+            }
+            *line = Line::default();
+        }
+        self.stats.writebacks += wb;
+        wb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Cache {
+        // 4 sets × 2 ways × 64 B = 512 B.
+        Cache::new(CacheConfig::new("t", 512, 64, 2, 1, 1))
+    }
+
+    #[test]
+    fn config_geometry() {
+        let c = CacheConfig::new("L2", 256 * 1024, 64, 2, 8, 18);
+        assert_eq!(c.sets(), 2048);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn config_rejects_bad_geometry() {
+        let _ = CacheConfig::new("x", 100, 64, 2, 1, 1);
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut c = tiny();
+        assert!(!c.access(0x40, false).hit);
+        assert!(c.access(0x40, false).hit);
+        assert!(c.access(0x7f, false).hit, "same line");
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Set 0 holds lines with line_addr % 4 == 0: 0x000, 0x100, 0x200.
+        c.access(0x000, false);
+        c.access(0x100, false);
+        c.access(0x000, false); // touch 0x000 again; 0x100 is now LRU
+        let miss = c.access(0x200, false);
+        assert!(!miss.hit);
+        assert!(c.access(0x000, false).hit, "recently used line survived");
+        assert!(!c.access(0x100, false).hit, "LRU line was evicted");
+    }
+
+    #[test]
+    fn dirty_eviction_produces_writeback_with_original_address() {
+        let mut c = tiny();
+        c.access(0x000, true); // dirty
+        c.access(0x100, false);
+        let a = c.access(0x200, false); // evicts 0x000
+        assert_eq!(a.writeback, Some(0x000));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn clean_eviction_has_no_writeback() {
+        let mut c = tiny();
+        c.access(0x000, false);
+        c.access(0x100, false);
+        let a = c.access(0x200, false);
+        assert_eq!(a.writeback, None);
+    }
+
+    #[test]
+    fn flush_writes_back_dirty_lines_and_cools_cache() {
+        let mut c = tiny();
+        c.access(0x00, true);
+        c.access(0x40, false);
+        assert_eq!(c.flush(), 1);
+        assert!(!c.access(0x00, false).hit, "flush invalidates");
+    }
+
+    #[test]
+    fn bank_interleaving_is_line_granular() {
+        let c = Cache::new(CacheConfig::new("b", 1024, 64, 2, 4, 1));
+        assert_eq!(c.bank_of(0x00), 0);
+        assert_eq!(c.bank_of(0x40), 1);
+        assert_eq!(c.bank_of(0x100), 0);
+    }
+
+    #[test]
+    fn miss_ratio_counts() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(0, false);
+        assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,32 @@
+//! # megsim-mem
+//!
+//! Memory-system substrate of the MEGsim reproduction: set-associative
+//! write-back caches, a banked open-page DRAM model (the DRAMsim2
+//! substitute of the paper's evaluation stack) and the shared L2 + DRAM
+//! hierarchy that every first-level cache of the Fig. 1 GPU refills
+//! through.
+//!
+//! ```
+//! use megsim_mem::{CacheConfig, MemoryHierarchy, DramConfig};
+//!
+//! let mut mem = MemoryHierarchy::mali450_baseline();
+//! let miss = mem.access(0x1000, 0, false);
+//! let hit = mem.access(0x1000, miss.ready_at, false);
+//! assert!(!miss.l2_hit);
+//! assert!(hit.l2_hit);
+//! assert!(hit.latency < miss.latency);
+//! # let _ = (CacheConfig::new("x", 1024, 64, 2, 1, 1), DramConfig::default());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod addr;
+pub mod cache;
+pub mod dram;
+pub mod hierarchy;
+
+pub use addr::AddressSpace;
+pub use cache::{Cache, CacheAccess, CacheConfig, CacheStats};
+pub use dram::{Dram, DramAccess, DramConfig, DramStats};
+pub use hierarchy::{HierarchyAccess, MemoryHierarchy, MemoryStats};

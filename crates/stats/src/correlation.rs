@@ -1,0 +1,158 @@
+//! Pearson correlation and the coefficient of multiple correlation used
+//! by the paper's input-parameter study (§III-B, Fig. 3).
+
+use crate::descriptive::{covariance, std_dev};
+use crate::matrix::{Matrix, MatrixError};
+
+/// Pearson's correlation coefficient ρ between two series (paper Eq. 1).
+///
+/// Returns `0.0` when either series is constant (zero variance), which is
+/// the conventional "no linear relationship measurable" value.
+///
+/// # Panics
+///
+/// Panics if the series differ in length.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "pearson requires equal lengths");
+    let sx = std_dev(xs);
+    let sy = std_dev(ys);
+    if sx <= f64::EPSILON || sy <= f64::EPSILON {
+        return 0.0;
+    }
+    (covariance(xs, ys) / (sx * sy)).clamp(-1.0, 1.0)
+}
+
+/// Coefficient of multiple correlation `R` between a set of predictor
+/// columns and a target variable (paper Eq. 2–3):
+///
+/// `R² = cᵀ · R_xx⁻¹ · c`
+///
+/// where `c` is the vector of Pearson correlations between each predictor
+/// and the target, and `R_xx` the predictors' inter-correlation matrix.
+///
+/// Constant predictor columns are dropped (they carry no information and
+/// would make `R_xx` singular); if the matrix is still singular — as
+/// happens when shaders always execute in fixed ratios — a small ridge
+/// term is added, which is the standard remedy and changes `R` by O(λ).
+///
+/// Returns `0.0` when no informative predictors remain.
+///
+/// # Panics
+///
+/// Panics if any predictor column's length differs from the target's.
+pub fn multiple_correlation(predictors: &[Vec<f64>], target: &[f64]) -> f64 {
+    let informative: Vec<&Vec<f64>> = predictors
+        .iter()
+        .filter(|col| {
+            assert_eq!(col.len(), target.len(), "predictor length mismatch");
+            std_dev(col) > f64::EPSILON
+        })
+        .collect();
+    if informative.is_empty() || std_dev(target) <= f64::EPSILON {
+        return 0.0;
+    }
+    let k = informative.len();
+    let c: Vec<f64> = informative.iter().map(|col| pearson(col, target)).collect();
+    let mut rxx = Matrix::zeros(k, k);
+    for i in 0..k {
+        for j in i..k {
+            let r = if i == j {
+                1.0
+            } else {
+                pearson(informative[i], informative[j])
+            };
+            rxx[(i, j)] = r;
+            rxx[(j, i)] = r;
+        }
+    }
+    let inv = match rxx.inverse() {
+        Ok(inv) => inv,
+        Err(MatrixError::Singular) => {
+            rxx.add_ridge(1e-6);
+            match rxx.inverse() {
+                Ok(inv) => inv,
+                Err(_) => return 0.0,
+            }
+        }
+        Err(_) => return 0.0,
+    };
+    let rc = inv.mul_vec(&c).expect("shape checked above");
+    let r2: f64 = c.iter().zip(&rc).map(|(a, b)| a * b).sum();
+    // Numerical noise can push R² epsilon-outside [0, 1].
+    r2.clamp(0.0, 1.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pearson_perfect_positive() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&xs, &ys) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_perfect_negative() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        assert!((pearson(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_constant_series_is_zero() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+    }
+
+    #[test]
+    fn pearson_independent_is_small() {
+        let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+        // Symmetric pattern orthogonal to the linear trend.
+        let ys = [1.0, -1.0, -1.0, 1.0, 1.0, -1.0, -1.0, 1.0];
+        assert!(pearson(&xs, &ys).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiple_correlation_single_predictor_equals_abs_pearson() {
+        let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let y = vec![2.1, 3.9, 6.2, 8.0, 9.9];
+        let r = multiple_correlation(&[x.clone()], &y);
+        assert!((r - pearson(&x, &y).abs()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_correlation_two_predictors_explain_target() {
+        // y = x1 + x2 exactly → R = 1.
+        let x1 = vec![1.0, 2.0, 3.0, 4.0, 5.0, 1.0];
+        let x2 = vec![0.0, 3.0, 1.0, 2.0, 5.0, 4.0];
+        let y: Vec<f64> = x1.iter().zip(&x2).map(|(a, b)| a + b).collect();
+        let r = multiple_correlation(&[x1, x2], &y);
+        assert!(r > 0.999, "r = {r}");
+    }
+
+    #[test]
+    fn multiple_correlation_drops_constant_columns() {
+        let x1 = vec![1.0, 2.0, 3.0, 4.0];
+        let konst = vec![7.0; 4];
+        let y = vec![1.1, 2.0, 2.9, 4.2];
+        let r = multiple_correlation(&[konst.clone(), x1.clone()], &y);
+        assert!((r - multiple_correlation(&[x1], &y)).abs() < 1e-9);
+        assert_eq!(multiple_correlation(&[konst], &y), 0.0);
+    }
+
+    #[test]
+    fn multiple_correlation_handles_collinear_predictors() {
+        let x1 = vec![1.0, 2.0, 3.0, 4.0, 5.0];
+        let x2: Vec<f64> = x1.iter().map(|v| v * 2.0).collect(); // collinear
+        let y = vec![1.2, 1.9, 3.1, 4.2, 4.8];
+        let r = multiple_correlation(&[x1, x2], &y);
+        assert!(r > 0.99 && r <= 1.0, "r = {r}");
+    }
+
+    #[test]
+    fn multiple_correlation_constant_target_is_zero() {
+        let x = vec![1.0, 2.0, 3.0];
+        assert_eq!(multiple_correlation(&[x], &[5.0, 5.0, 5.0]), 0.0);
+    }
+}

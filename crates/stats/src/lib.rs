@@ -1,0 +1,30 @@
+//! # megsim-stats
+//!
+//! Statistics substrate of the MEGsim reproduction: descriptive
+//! statistics, Pearson correlation, the coefficient of multiple
+//! correlation (paper Eq. 1–3, used by the Fig. 3 input-parameter
+//! study) and the small dense-matrix algebra it needs.
+//!
+//! ```
+//! use megsim_stats::{pearson, multiple_correlation};
+//!
+//! let prim = vec![10.0, 20.0, 30.0, 40.0];
+//! let cycles = vec![105.0, 198.0, 310.0, 395.0];
+//! assert!(pearson(&prim, &cycles) > 0.99);
+//! assert!(multiple_correlation(&[prim], &cycles) > 0.99);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod correlation;
+pub mod descriptive;
+pub mod matrix;
+pub mod rank;
+
+pub use correlation::{multiple_correlation, pearson};
+pub use descriptive::{
+    covariance, mean, median, quantile, relative_error, sample_variance, std_dev, variance,
+};
+pub use matrix::{Matrix, MatrixError};
+pub use rank::{ranks, spearman};

@@ -1,0 +1,87 @@
+//! Rank statistics: Spearman's rank correlation, a robustness companion
+//! to the Pearson coefficient of the Fig. 3 study (monotone-but-
+//! nonlinear relationships between activity counts and cycles show up
+//! here even when Pearson understates them).
+
+use crate::correlation::pearson;
+
+/// Fractional ranks of a series (ties get the average rank).
+///
+/// # Panics
+///
+/// Panics if any value is NaN.
+pub fn ranks(xs: &[f64]) -> Vec<f64> {
+    let n = xs.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| xs[a].partial_cmp(&xs[b]).expect("NaN in rank input"));
+    let mut out = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        // Find the tie group [i, j).
+        let mut j = i + 1;
+        while j < n && xs[order[j]] == xs[order[i]] {
+            j += 1;
+        }
+        // Average rank of the group (1-based ranks).
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &idx in &order[i..j] {
+            out[idx] = avg;
+        }
+        i = j;
+    }
+    out
+}
+
+/// Spearman's rank correlation coefficient ρₛ in `[-1, 1]`.
+///
+/// Returns `0.0` when either series is constant.
+///
+/// # Panics
+///
+/// Panics if the series differ in length.
+pub fn spearman(xs: &[f64], ys: &[f64]) -> f64 {
+    assert_eq!(xs.len(), ys.len(), "spearman requires equal lengths");
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    pearson(&ranks(xs), &ranks(ys))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_of_distinct_values() {
+        assert_eq!(ranks(&[30.0, 10.0, 20.0]), vec![3.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        // 10 and 10 occupy ranks 1 and 2 -> each gets 1.5.
+        assert_eq!(ranks(&[10.0, 10.0, 20.0]), vec![1.5, 1.5, 3.0]);
+    }
+
+    #[test]
+    fn spearman_detects_monotone_nonlinear_relation() {
+        let xs: Vec<f64> = (1..=20).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| x.powi(5)).collect();
+        let rho_s = spearman(&xs, &ys);
+        assert!((rho_s - 1.0).abs() < 1e-12);
+        // Pearson understates the same relationship.
+        assert!(pearson(&xs, &ys) < rho_s);
+    }
+
+    #[test]
+    fn spearman_perfect_inverse() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [8.0, 6.0, 4.0, 2.0];
+        assert!((spearman(&xs, &ys) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn spearman_constant_is_zero() {
+        assert_eq!(spearman(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), 0.0);
+        assert_eq!(spearman(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,660 @@
+//! The cycle-level TBR GPU model.
+//!
+//! Timing is *timestamp-based*: every hardware unit keeps a local clock
+//! advanced by its per-item occupancy and by the memory latencies it
+//! observes; units that run concurrently in hardware contribute the
+//! maximum of their clocks, units that serialize contribute the sum.
+//! This mirrors the two-phase structure of a Tile-Based Rendering GPU:
+//!
+//! 1. **Geometry + Tiling phase** — Vertex Fetcher, Vertex Processors,
+//!    Primitive Assembly and the Polygon List Builder run as a pipeline
+//!    over the whole frame; the phase takes as long as its slowest unit.
+//! 2. **Raster phase** — tiles are processed one at a time; inside a
+//!    tile the Rasterizer, Early-Z, the four Fragment Processors and the
+//!    Blending Unit pipeline against each other. The per-tile flush of
+//!    final colors to the frame buffer overlaps the next tile's work
+//!    (double-buffered on-chip tile memory), so the phase is the maximum
+//!    of accumulated tile work and accumulated flush traffic.
+
+use megsim_funcsim::{FrameTrace, RenderMode};
+use megsim_gfx::math::Vec2;
+use megsim_gfx::shader::{ShaderTable, TextureFilter};
+use megsim_mem::{AddressSpace, Cache, MemoryHierarchy};
+
+use crate::config::GpuConfig;
+use crate::stats::{FrameStats, UnitBusy};
+
+/// The simulated GPU. Caches and DRAM state persist across frames
+/// (warm-cache simulation), while statistics are attributed per frame.
+#[derive(Debug)]
+pub struct Gpu {
+    config: GpuConfig,
+    vertex_cache: Cache,
+    texture_caches: Vec<Cache>,
+    tile_cache: Cache,
+    memory: MemoryHierarchy,
+    /// Monotonic global cycle counter across the whole simulation.
+    now: u64,
+    frame_index: u64,
+    scratch_addrs: Vec<u64>,
+}
+
+impl Gpu {
+    /// Builds a cold GPU from its configuration.
+    pub fn new(config: GpuConfig) -> Self {
+        Self {
+            vertex_cache: Cache::new(config.vertex_cache.clone()),
+            texture_caches: (0..config.fragment_processors)
+                .map(|_| Cache::new(config.texture_cache.clone()))
+                .collect(),
+            tile_cache: Cache::new(config.tile_cache.clone()),
+            memory: MemoryHierarchy::new(config.l2.clone(), config.dram),
+            now: 0,
+            frame_index: 0,
+            scratch_addrs: Vec::with_capacity(8),
+            config,
+        }
+    }
+
+    /// The machine configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Global cycle count since construction.
+    pub fn now(&self) -> u64 {
+        self.now
+    }
+
+    /// Simulates one frame from its functional trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace references shaders missing from `shaders`.
+    pub fn simulate_frame(&mut self, trace: &FrameTrace, shaders: &ShaderTable) -> FrameStats {
+        // Per-frame stat attribution: reset counters, keep state warm.
+        self.vertex_cache.reset_stats();
+        for c in &mut self.texture_caches {
+            c.reset_stats();
+        }
+        self.tile_cache.reset_stats();
+        self.memory.reset_stats();
+
+        let frame_start = self.now;
+        let mut unit_busy = UnitBusy::default();
+        let geometry_cycles = self.geometry_phase(trace, frame_start, &mut unit_busy);
+        let (raster_cycles, color_accesses, depth_accesses) =
+            self.raster_phase(trace, shaders, frame_start + geometry_cycles, &mut unit_busy);
+        let cycles =
+            geometry_cycles + raster_cycles + self.config.frame_overhead_cycles;
+        self.now = frame_start + cycles;
+        self.frame_index += 1;
+
+        let mut texture_stats = megsim_mem::CacheStats::default();
+        for c in &self.texture_caches {
+            texture_stats.merge(c.stats());
+        }
+        FrameStats {
+            cycles,
+            geometry_cycles,
+            raster_cycles,
+            instructions: trace.activity.total_instructions(),
+            vertex_cache: *self.vertex_cache.stats(),
+            texture_cache: texture_stats,
+            tile_cache: *self.tile_cache.stats(),
+            memory: self.memory.stats(),
+            color_buffer_accesses: color_accesses,
+            depth_buffer_accesses: depth_accesses,
+            activity: trace.activity.clone(),
+            unit_busy,
+        }
+    }
+
+    /// Geometry Pipeline + Tiling Engine. Returns the phase duration.
+    fn geometry_phase(&mut self, trace: &FrameTrace, base: u64, busy: &mut UnitBusy) -> u64 {
+        let cfg = &self.config;
+        // Unit clocks, relative to `base`.
+        let mut vf_clock = 0u64; // Vertex Fetcher (in-order, blocking)
+        let mut vp_busy = 0u64; // total VP work, spread over the array
+        let mut pa_clock = 0u64; // Primitive Assembly
+        for draw in &trace.geometry {
+            // Vertex Fetcher: one vertex per cycle; a vertex-cache miss
+            // blocks the fetcher for the refill latency.
+            for &addr in &draw.vertex_fetch_addresses {
+                vf_clock += 1;
+                let acc = self.vertex_cache.access(addr, false);
+                if let Some(wb) = acc.writeback {
+                    self.memory.access(wb, base + vf_clock, true);
+                }
+                if acc.hit {
+                    vf_clock += self.vertex_cache.config().latency;
+                } else {
+                    let fill = self.memory.access(addr, base + vf_clock, false);
+                    vf_clock += fill.latency;
+                }
+            }
+            // Vertex Processors: scalar, one instruction per cycle.
+            vp_busy += u64::from(draw.vertices_shaded)
+                * u64::from(draw.vertex_shader_instructions);
+            // Primitive Assembly consumes one vertex per cycle.
+            pa_clock += u64::from(draw.vertices_shaded)
+                * cfg.prim_assembly_cycles_per_vertex;
+        }
+        let vp_clock =
+            vp_busy.div_ceil(cfg.vertex_processors as u64 * cfg.vertex_issue_width);
+
+        // Polygon List Builder: one list entry per primitive-tile pair,
+        // written through the Tile cache. Immediate-mode rendering has
+        // no Tiling Engine at all.
+        let mut plb_clock = 0u64;
+        let mut traced_entries = 0u64;
+        let tiling_tiles: &[megsim_funcsim::TileTrace] =
+            if trace.mode == RenderMode::Immediate { &[] } else { &trace.tiles };
+        for tile in tiling_tiles {
+            for (n, _prim) in tile.prims.iter().enumerate() {
+                let addr = AddressSpace::polygon_list_entry(tile.tile_index, n as u64);
+                plb_clock += 1;
+                let acc = self.tile_cache.access(addr, true);
+                if let Some(wb) = acc.writeback {
+                    self.memory.access(wb, base + plb_clock, true);
+                }
+                if !acc.hit {
+                    // Write-allocate fill; posted writes hide up to an
+                    // L2 latency of the fill before backpressure bites.
+                    let fill = self.memory.access(addr, base + plb_clock, false);
+                    let arrival = fill.ready_at.saturating_sub(base);
+                    plb_clock = (plb_clock + 1).max(arrival.saturating_sub(cfg.plb_write_window));
+                } else {
+                    plb_clock += self.tile_cache.config().latency;
+                }
+                traced_entries += 1;
+            }
+        }
+        // Bin entries whose primitives produced no fragments in a tile
+        // do not appear in the trace; charge their occupancy.
+        plb_clock += trace.activity.tile_bin_entries.saturating_sub(traced_entries);
+
+        busy.vertex_fetch += vf_clock;
+        busy.vertex_alu += vp_clock;
+        busy.prim_assembly += pa_clock;
+        busy.polygon_list_write += plb_clock;
+
+        // The four units pipeline against each other; the phase lasts as
+        // long as the slowest, plus a pipeline-fill term bounded by the
+        // vertex queue depth.
+        let fill = u64::from(self.config.vertex_queue.entries);
+        vf_clock.max(vp_clock).max(pa_clock).max(plb_clock) + fill
+    }
+
+    /// Raster Pipeline, tile by tile. Returns `(phase_cycles,
+    /// color_buffer_accesses, depth_buffer_accesses)`.
+    fn raster_phase(
+        &mut self,
+        trace: &FrameTrace,
+        shaders: &ShaderTable,
+        base: u64,
+        busy: &mut UnitBusy,
+    ) -> (u64, u64, u64) {
+        let mut tile_work_clock = 0u64; // accumulated per-tile pipeline time
+        let mut flush_clock = 0u64; // accumulated frame-buffer flush time
+        let mut color_accesses = 0u64;
+        let mut depth_accesses = 0u64;
+        let n_fp = self.config.fragment_processors as u64;
+        let immediate = trace.mode == RenderMode::Immediate;
+        let deferred = trace.mode == RenderMode::TileBasedDeferred;
+        for tile in &trace.tiles {
+            let tile_base = base + tile_work_clock;
+            // Polygon list read-back through the Tile cache (absent in
+            // immediate mode: there are no tile lists to read).
+            let mut list_clock = 0u64;
+            let list_entries: &[megsim_funcsim::TilePrim] =
+                if immediate { &[] } else { &tile.prims };
+            for (n, _prim) in list_entries.iter().enumerate() {
+                let addr = AddressSpace::polygon_list_entry(tile.tile_index, n as u64);
+                list_clock += 1;
+                let acc = self.tile_cache.access(addr, false);
+                if let Some(wb) = acc.writeback {
+                    self.memory.access(wb, tile_base + list_clock, true);
+                }
+                if acc.hit {
+                    list_clock += self.tile_cache.config().latency;
+                } else {
+                    let fill = self.memory.access(addr, tile_base + list_clock, false);
+                    list_clock += fill.latency;
+                }
+            }
+            // Rasterizer / Early-Z / Fragment Processors / Blending.
+            let mut raster_clock = 0u64;
+            let mut earlyz_clock = 0u64;
+            let mut fp_clock = vec![0u64; n_fp as usize];
+            // Decoupled texture units: each FP has a texture pipe that
+            // runs in parallel with its ALU; the FP finishes when the
+            // slower of the two does.
+            let mut tex_clock = vec![0u64; n_fp as usize];
+            let mut blend_clock = 0u64;
+            let mut visible_px = 0u64;
+            let mut quad_rr = 0u64; // round-robin quad distribution
+            for prim in &tile.prims {
+                let fs = shaders.fragment_shader(prim.fragment_shader);
+                let fs_instr = u64::from(fs.instruction_count());
+                raster_clock += prim.quads.len() as u64
+                    * u64::from(prim.attributes)
+                    * self.config.rasterizer_cycles_per_attribute;
+                for quad in &prim.quads {
+                    // Early-Z: one quad per cycle; the 8-quad in-flight
+                    // window hides the depth-buffer latency. A deferred
+                    // (HSR) pipeline pays a second resolve pass.
+                    earlyz_clock += if deferred { 2 } else { 1 };
+                    depth_accesses += u64::from(quad.covered_count());
+                    if immediate && prim.depth_test {
+                        // IMR keeps depth in memory: one line-sized
+                        // access per quad (depth values of a quad share
+                        // a line), posted behind the early-z window.
+                        let addr = AddressSpace::depth_pixel(
+                            u32::from(quad.x),
+                            u32::from(quad.y),
+                            trace.viewport.width,
+                        );
+                        let acc = self.memory.access(addr, tile_base + earlyz_clock, true);
+                        let arrival = acc.ready_at.saturating_sub(tile_base);
+                        earlyz_clock = earlyz_clock
+                            .max(arrival.saturating_sub(self.config.plb_write_window));
+                    }
+                    let vis = u64::from(quad.visible_count());
+                    if vis == 0 {
+                        quad_rr += 1;
+                        continue;
+                    }
+                    let fp = (quad_rr % n_fp) as usize;
+                    quad_rr += 1;
+                    fp_clock[fp] += (vis * fs_instr).div_ceil(self.config.fragment_issue_width);
+                    self.sample_textures(
+                        prim.texture.as_ref(),
+                        &fs.texture_samples,
+                        prim.lod,
+                        quad.uv,
+                        vis,
+                        fp,
+                        base + tile_work_clock,
+                        &mut tex_clock,
+                    );
+                    // Blending Unit: one fragment per cycle. TBR blends
+                    // against the on-chip color buffer; IMR reads and
+                    // writes the frame buffer in memory immediately —
+                    // the off-chip traffic §II-A describes.
+                    blend_clock += vis;
+                    color_accesses += vis * if prim.blend.reads_destination() { 2 } else { 1 };
+                    if immediate {
+                        let addr = AddressSpace::framebuffer_pixel(
+                            u32::from(quad.x),
+                            u32::from(quad.y),
+                            trace.viewport.width,
+                            self.frame_index,
+                        );
+                        if prim.blend.reads_destination() {
+                            self.memory.access(addr, tile_base + blend_clock, false);
+                        }
+                        let acc = self.memory.access(addr, tile_base + blend_clock, true);
+                        let arrival = acc.ready_at.saturating_sub(tile_base);
+                        blend_clock = blend_clock
+                            .max(arrival.saturating_sub(self.config.flush_write_window));
+                    }
+                    visible_px += vis;
+                }
+            }
+            let fp_alu_max = fp_clock.iter().copied().max().unwrap_or(0);
+            let tex_max = tex_clock.iter().copied().max().unwrap_or(0);
+            let fp_max = fp_clock
+                .into_iter()
+                .zip(tex_clock)
+                .map(|(alu, tex)| alu.max(tex))
+                .max()
+                .unwrap_or(0);
+            busy.polygon_list_read += list_clock;
+            busy.rasterizer += raster_clock;
+            busy.early_z += earlyz_clock;
+            busy.fragment_alu += fp_alu_max;
+            busy.texture_pipe += tex_max;
+            busy.blending += blend_clock;
+            let tile_pipeline = list_clock
+                .max(raster_clock)
+                .max(earlyz_clock)
+                .max(fp_max)
+                .max(blend_clock);
+            tile_work_clock += tile_pipeline + self.config.early_z_in_flight;
+
+            // Tile flush: covered pixels stream to the frame buffer
+            // (partial-tile flush — Arm-style transaction elimination
+            // skips untouched pixels). Overlaps the next tile's work.
+            // IMR wrote its colors inline, so there is nothing to flush.
+            if immediate {
+                continue;
+            }
+            let (tx, ty) = (
+                tile.tile_index % trace.viewport.tiles_x(),
+                tile.tile_index / trace.viewport.tiles_x(),
+            );
+            let rect = trace.viewport.tile_rect(tx, ty);
+            let flush_bytes = visible_px * 4;
+            let flush_lines = flush_bytes.div_ceil(self.config.dram.line_size);
+            let row_pixels = u64::from(trace.viewport.width);
+            for line in 0..flush_lines {
+                // Spread the flush across the tile's pixel rows so the
+                // address stream matches a real raster layout.
+                let local = line * (self.config.dram.line_size / 4);
+                let y = rect.1 + (local / u64::from(trace.viewport.tile_size)) as u32;
+                let x = rect.0 + (local % u64::from(trace.viewport.tile_size)) as u32;
+                let addr = AddressSpace::framebuffer_pixel(
+                    x.min(trace.viewport.width - 1),
+                    y.min(trace.viewport.height - 1),
+                    row_pixels as u32,
+                    self.frame_index,
+                );
+                // Posted cached writes: the flush engine runs ahead of
+                // memory by up to the Color queue's drain window, then
+                // feels backpressure. Lines land in the L2 and reach
+                // DRAM on eviction, exactly like IMR's color writes —
+                // at full resolution the frame buffer far exceeds the
+                // L2, so the traffic still goes off-chip.
+                let w = self.memory.access(addr, base + flush_clock, true);
+                let retire = w.ready_at.saturating_sub(base);
+                flush_clock =
+                    (flush_clock + 1).max(retire.saturating_sub(self.config.flush_write_window));
+            }
+        }
+        busy.flush += flush_clock;
+        (tile_work_clock.max(flush_clock), color_accesses, depth_accesses)
+    }
+
+    /// Issues the texture samples of `vis` fragments of one quad and
+    /// charges the (partially hidden) miss latency to FP `fp`.
+    #[allow(clippy::too_many_arguments)]
+    fn sample_textures(
+        &mut self,
+        texture: Option<&megsim_gfx::texture::TextureDesc>,
+        filters: &[TextureFilter],
+        lod: u32,
+        uv: Vec2,
+        vis: u64,
+        fp: usize,
+        base: u64,
+        tex_clock: &mut [u64],
+    ) {
+        let Some(texture) = texture else {
+            return;
+        };
+        // Per-fragment sampling: offset each fragment by one texel (at
+        // the selected LOD) so the address stream has realistic spatial
+        // locality.
+        let lw = (texture.width >> lod.min(texture.max_level())).max(1);
+        let lh = (texture.height >> lod.min(texture.max_level())).max(1);
+        let texel = Vec2::new(1.0 / lw as f32, 1.0 / lh as f32);
+        for f in 0..vis {
+            let fuv = Vec2::new(
+                uv.x + texel.x * (f % 2) as f32,
+                uv.y + texel.y * (f / 2) as f32,
+            );
+            for filter in filters {
+                self.scratch_addrs.clear();
+                texture.sample_addresses_lod(fuv, *filter, lod, &mut self.scratch_addrs);
+                let addrs = std::mem::take(&mut self.scratch_addrs);
+                for &addr in &addrs {
+                    // One texel lookup per cycle of pipe occupancy; a
+                    // miss stalls the pipe for a capped latency (the
+                    // in-flight quad window hides the rest).
+                    let acc = self.texture_caches[fp].access(addr, false);
+                    if let Some(wb) = acc.writeback {
+                        self.memory.access(wb, base + tex_clock[fp], true);
+                    }
+                    if acc.hit {
+                        tex_clock[fp] += 1;
+                    } else {
+                        // The pipe keeps `texture_miss_stall_cap` cycles
+                        // of work in flight; it stalls only when the
+                        // fill arrives later than that window allows.
+                        let fill = self.memory.access(addr, base + tex_clock[fp], false);
+                        let arrival = fill.ready_at.saturating_sub(base);
+                        tex_clock[fp] = (tex_clock[fp] + 1)
+                            .max(arrival.saturating_sub(self.config.texture_miss_stall_cap));
+                    }
+                }
+                self.scratch_addrs = addrs;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megsim_funcsim::{RenderConfig, Renderer};
+    use megsim_gfx::draw::{BlendMode, DrawCall, Frame, Viewport};
+    use megsim_gfx::geometry::{Mesh, Vertex};
+    use megsim_gfx::math::{Mat4, Vec3};
+    use megsim_gfx::shader::{ShaderId, ShaderProgram, TextureFilter};
+    use megsim_gfx::texture::TextureDesc;
+    use std::sync::Arc;
+
+    fn shaders() -> ShaderTable {
+        let mut t = ShaderTable::new();
+        t.add(ShaderProgram::vertex(0, "vs", 16));
+        t.add(ShaderProgram::fragment(
+            0,
+            "fs",
+            12,
+            vec![TextureFilter::Bilinear],
+        ));
+        t
+    }
+
+    fn quad_mesh(scale: f32) -> Arc<Mesh> {
+        Arc::new(Mesh::new(
+            vec![
+                Vertex::at(Vec3::new(-scale, -scale, 0.0)),
+                Vertex::at(Vec3::new(scale, -scale, 0.0)),
+                Vertex::at(Vec3::new(scale, scale, 0.0)),
+                Vertex::at(Vec3::new(-scale, scale, 0.0)),
+            ],
+            vec![0, 1, 2, 0, 2, 3],
+            0x4000,
+        ))
+    }
+
+    fn frame(scale: f32, textured: bool) -> Frame {
+        let mut f = Frame::new();
+        f.draws.push(DrawCall {
+            mesh: quad_mesh(scale),
+            transform: Mat4::IDENTITY,
+            vertex_shader: ShaderId(0),
+            fragment_shader: ShaderId(0),
+            texture: textured.then(|| TextureDesc::new(0, 256, 256, 4, 0x1000_0000)),
+            blend: BlendMode::Opaque,
+            depth_test: true,
+        });
+        f
+    }
+
+    fn trace_of(frame: &Frame, viewport: Viewport) -> FrameTrace {
+        Renderer::new(RenderConfig::tbr(viewport)).render_frame(frame, &shaders())
+    }
+
+    #[test]
+    fn simulated_frame_has_positive_cycles_and_traffic() {
+        let cfg = GpuConfig::small(256, 256);
+        let viewport = cfg.viewport;
+        let mut gpu = Gpu::new(cfg);
+        let stats = gpu.simulate_frame(&trace_of(&frame(0.5, true), viewport), &shaders());
+        assert!(stats.cycles > 0);
+        assert!(stats.geometry_cycles > 0);
+        assert!(stats.raster_cycles > 0);
+        assert!(stats.instructions > 0);
+        assert!(stats.dram_accesses() > 0);
+        assert!(stats.l2_accesses() > 0);
+        assert!(stats.tile_cache_accesses() > 0);
+        assert!(stats.texture_cache.accesses() > 0);
+        assert!(stats.vertex_cache.accesses() > 0);
+        assert!(stats.ipc() > 0.0);
+    }
+
+    #[test]
+    fn bigger_frames_take_more_cycles() {
+        let cfg = GpuConfig::small(256, 256);
+        let viewport = cfg.viewport;
+        let mut gpu = Gpu::new(cfg);
+        let small = gpu.simulate_frame(&trace_of(&frame(0.2, true), viewport), &shaders());
+        let big = gpu.simulate_frame(&trace_of(&frame(0.9, true), viewport), &shaders());
+        assert!(big.cycles > small.cycles);
+        assert!(big.tile_cache_accesses() >= small.tile_cache_accesses());
+    }
+
+    #[test]
+    fn warm_caches_reduce_second_frame_traffic() {
+        let cfg = GpuConfig::small(128, 128);
+        let viewport = cfg.viewport;
+        let mut gpu = Gpu::new(cfg);
+        let t = trace_of(&frame(0.5, true), viewport);
+        let cold = gpu.simulate_frame(&t, &shaders());
+        let warm = gpu.simulate_frame(&t, &shaders());
+        assert!(warm.dram_accesses() <= cold.dram_accesses());
+        assert!(warm.cycles <= cold.cycles);
+    }
+
+    #[test]
+    fn untextured_frame_has_no_texture_traffic() {
+        let cfg = GpuConfig::small(128, 128);
+        let viewport = cfg.viewport;
+        let mut gpu = Gpu::new(cfg);
+        let stats = gpu.simulate_frame(&trace_of(&frame(0.5, false), viewport), &shaders());
+        assert_eq!(stats.texture_cache.accesses(), 0);
+    }
+
+    #[test]
+    fn global_clock_advances_monotonically() {
+        let cfg = GpuConfig::small(128, 128);
+        let viewport = cfg.viewport;
+        let mut gpu = Gpu::new(cfg);
+        let t = trace_of(&frame(0.4, true), viewport);
+        assert_eq!(gpu.now(), 0);
+        let a = gpu.simulate_frame(&t, &shaders());
+        let after_one = gpu.now();
+        assert_eq!(after_one, a.cycles);
+        let b = gpu.simulate_frame(&t, &shaders());
+        assert_eq!(gpu.now(), after_one + b.cycles);
+    }
+
+    #[test]
+    fn empty_frame_costs_only_overhead() {
+        let cfg = GpuConfig::small(128, 128);
+        let overhead = cfg.frame_overhead_cycles;
+        let fill = u64::from(cfg.vertex_queue.entries);
+        let viewport = cfg.viewport;
+        let mut gpu = Gpu::new(cfg);
+        let t = trace_of(&Frame::new(), viewport);
+        let stats = gpu.simulate_frame(&t, &shaders());
+        assert_eq!(stats.cycles, overhead + fill);
+        assert_eq!(stats.dram_accesses(), 0);
+    }
+}
+
+#[cfg(test)]
+mod mode_tests {
+    use super::*;
+    use megsim_funcsim::{RenderConfig, Renderer};
+    use megsim_gfx::draw::{BlendMode, DrawCall, Frame, Viewport};
+    use megsim_gfx::geometry::{Mesh, Vertex};
+    use megsim_gfx::math::{Mat4, Vec3};
+    use megsim_gfx::shader::{ShaderId, ShaderProgram};
+    use std::sync::Arc;
+
+    fn shaders() -> ShaderTable {
+        let mut t = ShaderTable::new();
+        t.add(ShaderProgram::vertex(0, "vs", 12));
+        t.add(ShaderProgram::fragment(0, "fs", 10, vec![]));
+        t
+    }
+
+    /// Two overlapping opaque layers drawn back-to-front — the worst
+    /// case for TBR overdraw and IMR memory traffic.
+    fn overdraw_frame() -> Frame {
+        let mesh = Arc::new(Mesh::new(
+            vec![
+                Vertex::at(Vec3::new(-0.6, -0.6, 0.0)),
+                Vertex::at(Vec3::new(0.6, -0.6, 0.0)),
+                Vertex::at(Vec3::new(0.6, 0.6, 0.0)),
+                Vertex::at(Vec3::new(-0.6, 0.6, 0.0)),
+            ],
+            vec![0, 1, 2, 0, 2, 3],
+            0x100,
+        ));
+        let mut f = Frame::new();
+        for z in [0.4f32, -0.2] {
+            f.draws.push(DrawCall {
+                mesh: Arc::clone(&mesh),
+                transform: Mat4::translation(Vec3::new(0.0, 0.0, z)),
+                vertex_shader: ShaderId(0),
+                fragment_shader: ShaderId(0),
+                texture: None,
+                blend: BlendMode::Opaque,
+                depth_test: true,
+            });
+        }
+        f
+    }
+
+    fn run(mode: RenderMode) -> FrameStats {
+        // Full-resolution target: the frame buffer (≈4 MB) far exceeds
+        // the 256 KiB L2, as on real hardware, so IMR's per-fragment
+        // color/depth traffic actually reaches DRAM.
+        let mut cfg = GpuConfig::mali450_like();
+        cfg.render_mode = mode;
+        let viewport = cfg.viewport;
+        let renderer = Renderer::new(RenderConfig { viewport, mode });
+        let mut gpu = Gpu::new(cfg);
+        let trace = renderer.render_frame(&overdraw_frame(), &shaders());
+        gpu.simulate_frame(&trace, &shaders())
+    }
+
+    #[test]
+    fn imr_generates_more_dram_traffic_than_tbr() {
+        let tbr = run(RenderMode::TileBased);
+        let imr = run(RenderMode::Immediate);
+        // The §II-A claim: TBR avoids the per-fragment off-chip color
+        // traffic; IMR writes every shaded fragment (including the
+        // overdrawn layer) to memory.
+        assert!(
+            imr.dram_accesses() > tbr.dram_accesses(),
+            "imr {} vs tbr {}",
+            imr.dram_accesses(),
+            tbr.dram_accesses()
+        );
+        assert_eq!(imr.tile_cache_accesses(), 0, "IMR has no tiling engine");
+        assert!(tbr.tile_cache_accesses() > 0);
+    }
+
+    #[test]
+    fn tbdr_shades_fewer_fragments_than_tbr_under_overdraw() {
+        let tbr = run(RenderMode::TileBased);
+        let tbdr = run(RenderMode::TileBasedDeferred);
+        assert!(
+            tbdr.activity.fragments_shaded < tbr.activity.fragments_shaded,
+            "tbdr {} vs tbr {}",
+            tbdr.activity.fragments_shaded,
+            tbr.activity.fragments_shaded
+        );
+        assert!(tbdr.activity.fragments_hsr_culled > 0);
+        assert!(tbdr.instructions < tbr.instructions);
+    }
+
+    #[test]
+    fn all_modes_produce_consistent_clock_accounting() {
+        for mode in [
+            RenderMode::TileBased,
+            RenderMode::TileBasedDeferred,
+            RenderMode::Immediate,
+        ] {
+            let stats = run(mode);
+            assert!(stats.cycles >= stats.geometry_cycles + stats.raster_cycles);
+            assert!(stats.cycles > 0, "{mode:?}");
+        }
+    }
+}

@@ -1,0 +1,191 @@
+//! Design-space sensitivity tests: the timing model must respond to
+//! architectural parameters in the directions a real machine would —
+//! the property that makes the design-space-exploration use case of the
+//! paper's introduction meaningful.
+
+use std::sync::Arc;
+
+use megsim_funcsim::{FrameTrace, RenderConfig, Renderer};
+use megsim_gfx::draw::{BlendMode, DrawCall, Frame};
+use megsim_gfx::geometry::{Mesh, Vertex};
+use megsim_gfx::math::{Mat4, Vec2, Vec3};
+use megsim_gfx::shader::{ShaderId, ShaderProgram, ShaderTable, TextureFilter};
+use megsim_gfx::texture::TextureDesc;
+use megsim_mem::CacheConfig;
+use megsim_timing::{FrameStats, Gpu, GpuConfig};
+
+fn shaders() -> ShaderTable {
+    let mut t = ShaderTable::new();
+    t.add(ShaderProgram::vertex(0, "vs", 20));
+    t.add(ShaderProgram::fragment(
+        0,
+        "fs",
+        24,
+        vec![TextureFilter::Bilinear],
+    ));
+    t
+}
+
+/// A busy frame: a grid of textured quads across the screen.
+fn busy_frame() -> Frame {
+    let v = |x: f32, y: f32, u: f32, w: f32| Vertex {
+        position: Vec3::new(x, y, 0.0),
+        normal: Vec3::new(0.0, 0.0, 1.0),
+        uv: Vec2::new(u, w),
+    };
+    let mesh = Arc::new(Mesh::new(
+        vec![
+            v(-0.5, -0.5, 0.0, 0.0),
+            v(0.5, -0.5, 1.0, 0.0),
+            v(0.5, 0.5, 1.0, 1.0),
+            v(-0.5, 0.5, 0.0, 1.0),
+        ],
+        vec![0, 1, 2, 0, 2, 3],
+        0x40,
+    ));
+    let mut f = Frame::new();
+    for gy in 0..6 {
+        for gx in 0..6 {
+            f.draws.push(DrawCall {
+                mesh: Arc::clone(&mesh),
+                transform: Mat4::translation(Vec3::new(
+                    -0.8 + gx as f32 * 0.3,
+                    -0.8 + gy as f32 * 0.3,
+                    (gx + gy) as f32 * 0.02,
+                )) * Mat4::scale(Vec3::splat(0.22)),
+                vertex_shader: ShaderId(0),
+                fragment_shader: ShaderId(0),
+                texture: Some(TextureDesc::new(0, 256, 256, 4, 0x1000_0000)),
+                blend: BlendMode::Opaque,
+                depth_test: true,
+            });
+        }
+    }
+    f
+}
+
+fn simulate(config: GpuConfig) -> FrameStats {
+    let renderer = Renderer::new(RenderConfig {
+        viewport: config.viewport,
+        mode: config.render_mode,
+    });
+    let trace: FrameTrace = renderer.render_frame(&busy_frame(), &shaders());
+    let mut gpu = Gpu::new(config);
+    // Warm-up frame + measured frame (steady-state caches).
+    gpu.simulate_frame(&trace, &shaders());
+    gpu.simulate_frame(&trace, &shaders())
+}
+
+fn base() -> GpuConfig {
+    GpuConfig::small(512, 512)
+}
+
+#[test]
+fn more_fragment_processors_reduce_cycles() {
+    let mut narrow = base();
+    narrow.fragment_processors = 1;
+    let mut wide = base();
+    wide.fragment_processors = 8;
+    let n = simulate(narrow);
+    let w = simulate(wide);
+    assert!(
+        w.cycles < n.cycles,
+        "8 FPs {} vs 1 FP {}",
+        w.cycles,
+        n.cycles
+    );
+}
+
+#[test]
+fn wider_issue_reduces_cycles_when_alu_bound() {
+    let mut scalar = base();
+    scalar.fragment_issue_width = 1;
+    scalar.vertex_issue_width = 1;
+    let mut vliw = base();
+    vliw.fragment_issue_width = 4;
+    vliw.vertex_issue_width = 4;
+    let s = simulate(scalar);
+    let v = simulate(vliw);
+    assert!(v.cycles <= s.cycles, "vliw {} vs scalar {}", v.cycles, s.cycles);
+}
+
+#[test]
+fn bigger_texture_caches_cut_memory_traffic() {
+    let mut small = base();
+    small.texture_cache = CacheConfig::new("TextureCache", 1024, 64, 2, 1, 2);
+    let mut large = base();
+    large.texture_cache = CacheConfig::new("TextureCache", 64 * 1024, 64, 2, 1, 2);
+    let s = simulate(small);
+    let l = simulate(large);
+    assert!(
+        l.texture_cache.miss_ratio() < s.texture_cache.miss_ratio(),
+        "large {} vs small {}",
+        l.texture_cache.miss_ratio(),
+        s.texture_cache.miss_ratio()
+    );
+    assert!(l.l2_accesses() <= s.l2_accesses());
+}
+
+#[test]
+fn slower_dram_increases_cycles() {
+    let fast = base();
+    let mut slow = base();
+    slow.dram.row_hit_latency = 200;
+    slow.dram.row_miss_latency = 400;
+    slow.dram.bytes_per_cycle = 1;
+    let f = simulate(fast);
+    let s = simulate(slow);
+    assert!(s.cycles > f.cycles, "slow {} vs fast {}", s.cycles, f.cycles);
+    // Access *counts* are timing-independent.
+    assert_eq!(s.l2_accesses(), f.l2_accesses());
+}
+
+#[test]
+fn heavier_shaders_execute_more_instructions_and_cycles() {
+    let mut heavy_shaders = ShaderTable::new();
+    heavy_shaders.add(ShaderProgram::vertex(0, "vs", 80));
+    heavy_shaders.add(ShaderProgram::fragment(
+        0,
+        "fs",
+        120,
+        vec![TextureFilter::Bilinear],
+    ));
+    let config = base();
+    let renderer = Renderer::new(RenderConfig {
+        viewport: config.viewport,
+        mode: config.render_mode,
+    });
+    let frame = busy_frame();
+    let light_trace = renderer.render_frame(&frame, &shaders());
+    let heavy_trace = renderer.render_frame(&frame, &heavy_shaders);
+    let mut gpu_l = Gpu::new(config.clone());
+    let mut gpu_h = Gpu::new(config);
+    let light = gpu_l.simulate_frame(&light_trace, &shaders());
+    let heavy = gpu_h.simulate_frame(&heavy_trace, &heavy_shaders);
+    assert!(heavy.instructions > light.instructions);
+    assert!(heavy.cycles > light.cycles);
+}
+
+#[test]
+fn larger_tiles_mean_fewer_bin_entries() {
+    let mut small_tiles = base();
+    small_tiles.viewport = megsim_gfx::draw::Viewport::new(512, 512, 16);
+    let big_tiles = base(); // 32x32
+    let renderer_small = Renderer::new(RenderConfig {
+        viewport: small_tiles.viewport,
+        mode: small_tiles.render_mode,
+    });
+    let renderer_big = Renderer::new(RenderConfig {
+        viewport: big_tiles.viewport,
+        mode: big_tiles.render_mode,
+    });
+    let frame = busy_frame();
+    let ts = renderer_small.render_frame(&frame, &shaders());
+    let tb = renderer_big.render_frame(&frame, &shaders());
+    assert!(
+        ts.activity.tile_bin_entries > tb.activity.tile_bin_entries,
+        "16px tiles {} vs 32px tiles {}",
+        ts.activity.tile_bin_entries,
+        tb.activity.tile_bin_entries
+    );
+}

@@ -1,0 +1,480 @@
+//! Scripted synthetic games.
+//!
+//! A [`Workload`] generates a deterministic sequence of [`Frame`]s from
+//! a *timeline* of scripted segments (menu, straight, turn, boss, …).
+//! Segments of the same template produce statistically similar frames —
+//! the recurring phase behaviour that real gameplay exhibits and that
+//! MEGsim's clustering exploits — while per-frame noise, sinusoidal
+//! intensity modulation and occasional spikes keep frames from being
+//! identical.
+
+use std::sync::Arc;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use megsim_gfx::draw::{BlendMode, DrawCall, Frame};
+use megsim_gfx::geometry::Mesh;
+use megsim_gfx::math::{Mat4, Vec3};
+use megsim_gfx::shader::{ShaderId, ShaderTable};
+use megsim_gfx::texture::TextureDesc;
+
+/// 2-D (sprite/orthographic) or 3-D (perspective) game.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum GameType {
+    /// Orthographic sprite game.
+    TwoD,
+    /// Perspective 3-D game.
+    ThreeD,
+}
+
+impl std::fmt::Display for GameType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GameType::TwoD => write!(f, "2D"),
+            GameType::ThreeD => write!(f, "3D"),
+        }
+    }
+}
+
+/// One drawable object family within a segment template.
+#[derive(Debug, Clone)]
+pub struct ObjectClass {
+    /// Index into the workload's mesh library.
+    pub mesh: usize,
+    /// Vertex shader used by instances of this class.
+    pub vertex_shader: ShaderId,
+    /// Fragment shader used by instances of this class.
+    pub fragment_shader: ShaderId,
+    /// Index into the workload's texture library, if textured.
+    pub texture: Option<usize>,
+    /// Blend mode (particles/UI are blended).
+    pub blend: BlendMode,
+    /// Whether instances are depth tested.
+    pub depth_test: bool,
+    /// Baseline instance count per frame.
+    pub base_count: f64,
+    /// Amplitude of the sinusoidal count modulation.
+    pub count_amplitude: f64,
+    /// Frequency of the modulation, radians per frame.
+    pub wobble_freq: f64,
+    /// World-space (3-D) or NDC-space (2-D) size of one instance.
+    pub size: f32,
+    /// Rotation about the X axis (radians), used to tilt terrain strips
+    /// toward the camera.
+    pub tilt: f32,
+    /// Mean camera distance band for 3-D placement.
+    pub distance: f32,
+}
+
+/// A reusable segment recipe (e.g. "straight road", "menu").
+#[derive(Debug, Clone)]
+pub struct SegmentTemplate {
+    /// Human-readable label (shows up in experiment dumps).
+    pub label: String,
+    /// Object classes active while this template plays.
+    pub classes: Vec<ObjectClass>,
+}
+
+/// One occurrence of a template on the timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment {
+    /// Index into the template list.
+    pub template: usize,
+    /// First frame of the segment.
+    pub start: usize,
+    /// Length in frames.
+    pub len: usize,
+    /// Per-occurrence intensity multiplier (~1.0).
+    pub intensity: f64,
+}
+
+/// A complete synthetic game workload.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Full game name (e.g. `"Beach Buggy Racing"`).
+    pub name: String,
+    /// Short alias used in the paper's tables (e.g. `"bbr1"`).
+    pub alias: String,
+    /// 2-D or 3-D.
+    pub game_type: GameType,
+    shaders: ShaderTable,
+    textures: Vec<TextureDesc>,
+    meshes: Vec<Arc<Mesh>>,
+    templates: Vec<SegmentTemplate>,
+    timeline: Vec<Segment>,
+    frames: usize,
+    seed: u64,
+    /// Relative per-frame count noise (e.g. 0.05 = ±5 %).
+    noise: f64,
+    /// Probability a frame doubles one class's count (explosions …).
+    spike_probability: f64,
+    /// Load multiplier of the first frames of each segment (scene
+    /// build, asset instantiation, full-screen fades). Decays over the
+    /// first few frames; 1.0 disables the effect.
+    transition_boost: f64,
+}
+
+/// Builder-style constructor input for [`Workload`].
+#[derive(Debug, Clone)]
+pub struct WorkloadSpec {
+    /// Full game name.
+    pub name: String,
+    /// Table II alias.
+    pub alias: String,
+    /// 2-D or 3-D.
+    pub game_type: GameType,
+    /// Shader library.
+    pub shaders: ShaderTable,
+    /// Texture library.
+    pub textures: Vec<TextureDesc>,
+    /// Mesh library.
+    pub meshes: Vec<Arc<Mesh>>,
+    /// Segment templates.
+    pub templates: Vec<SegmentTemplate>,
+    /// Timeline as (template index, frame count) pairs.
+    pub timeline: Vec<(usize, usize)>,
+    /// Master seed.
+    pub seed: u64,
+    /// Per-frame relative noise.
+    pub noise: f64,
+    /// Spike probability per frame.
+    pub spike_probability: f64,
+    /// Load multiplier of segment-transition frames (≥ 1.0).
+    pub transition_boost: f64,
+}
+
+impl Workload {
+    /// Builds a workload from its spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the timeline references unknown templates, a class
+    /// references an unknown mesh/texture/shader, or the timeline is
+    /// empty.
+    pub fn new(spec: WorkloadSpec) -> Self {
+        assert!(!spec.timeline.is_empty(), "timeline must not be empty");
+        for t in &spec.templates {
+            for c in &t.classes {
+                assert!(c.mesh < spec.meshes.len(), "unknown mesh index");
+                if let Some(tx) = c.texture {
+                    assert!(tx < spec.textures.len(), "unknown texture index");
+                }
+                assert!(
+                    (c.vertex_shader.0 as usize) < spec.shaders.vertex_count(),
+                    "unknown vertex shader"
+                );
+                assert!(
+                    (c.fragment_shader.0 as usize) < spec.shaders.fragment_count(),
+                    "unknown fragment shader"
+                );
+            }
+        }
+        let mut rng = SmallRng::seed_from_u64(spec.seed ^ 0xC0FF_EE00);
+        let mut timeline = Vec::with_capacity(spec.timeline.len());
+        let mut start = 0usize;
+        for &(template, len) in &spec.timeline {
+            assert!(template < spec.templates.len(), "unknown template index");
+            timeline.push(Segment {
+                template,
+                start,
+                len,
+                intensity: 1.0 + rng.gen_range(-0.06..0.06),
+            });
+            start += len;
+        }
+        Self {
+            name: spec.name,
+            alias: spec.alias,
+            game_type: spec.game_type,
+            shaders: spec.shaders,
+            textures: spec.textures,
+            meshes: spec.meshes,
+            templates: spec.templates,
+            timeline,
+            frames: start,
+            seed: spec.seed,
+            noise: spec.noise,
+            spike_probability: spec.spike_probability,
+            transition_boost: spec.transition_boost.max(1.0),
+        }
+    }
+
+    /// Number of frames in the sequence.
+    pub fn frames(&self) -> usize {
+        self.frames
+    }
+
+    /// The game's shader library.
+    pub fn shaders(&self) -> &ShaderTable {
+        &self.shaders
+    }
+
+    /// The segment templates (for reporting).
+    pub fn templates(&self) -> &[SegmentTemplate] {
+        &self.templates
+    }
+
+    /// The timeline (for reporting).
+    pub fn timeline(&self) -> &[Segment] {
+        &self.timeline
+    }
+
+    /// The segment active at frame `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.frames()`.
+    pub fn segment_at(&self, i: usize) -> &Segment {
+        assert!(i < self.frames, "frame index out of range");
+        let pos = self
+            .timeline
+            .partition_point(|s| s.start + s.len <= i);
+        &self.timeline[pos]
+    }
+
+    /// Generates frame `i` deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.frames()`.
+    pub fn frame(&self, i: usize) -> Frame {
+        let segment = *self.segment_at(i);
+        let template = &self.templates[segment.template];
+        let mut rng =
+            SmallRng::seed_from_u64(self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let t = i as f32 * 0.03;
+        let spike_class = if rng.gen_bool(self.spike_probability) {
+            Some(rng.gen_range(0..template.classes.len().max(1)))
+        } else {
+            None
+        };
+        // Segment transitions are expensive: the first frames carry the
+        // scene build / fade-in load, decaying geometrically. The window
+        // scales with the segment (1 frame for short test segments, up
+        // to 3 for full-length ones) so scaled-down sequences keep the
+        // same transition *fraction* as paper-sized ones.
+        let offset = i - segment.start;
+        let window = (segment.len / 12).clamp(1, 3);
+        let transition = if offset < window {
+            1.0 + (self.transition_boost - 1.0) * 0.5f64.powi(offset as i32)
+        } else {
+            1.0
+        };
+        let mut frame = Frame::new();
+        for (ci, class) in template.classes.iter().enumerate() {
+            let wobble = (t as f64 * class.wobble_freq + ci as f64 * 1.7).sin();
+            let mut count = (class.base_count * segment.intensity
+                + class.count_amplitude * wobble)
+                * transition;
+            count *= 1.0 + self.noise * rng.gen_range(-1.0..1.0);
+            if spike_class == Some(ci) {
+                count *= 2.0;
+            }
+            let count = count.round().max(0.0) as usize;
+            for j in 0..count {
+                frame
+                    .draws
+                    .push(self.instance(class, ci, j, i, t, &mut rng));
+            }
+        }
+        frame
+    }
+
+    /// Iterates over all frames of the sequence.
+    pub fn iter_frames(&self) -> impl Iterator<Item = Frame> + '_ {
+        (0..self.frames).map(move |i| self.frame(i))
+    }
+
+    fn instance(
+        &self,
+        class: &ObjectClass,
+        class_index: usize,
+        j: usize,
+        frame_index: usize,
+        t: f32,
+        rng: &mut SmallRng,
+    ) -> DrawCall {
+        // Stable per-(class, instance) placement that drifts with time:
+        // instances keep their identity across frames of a segment.
+        let mut prng = SmallRng::seed_from_u64(
+            self.seed ^ ((class_index as u64) << 32) ^ (j as u64).wrapping_mul(0x2545_F491_4F6C_DD1D),
+        );
+        let px = prng.gen_range(-0.85..0.85f32);
+        let py = prng.gen_range(-0.75..0.75f32);
+        let phase = prng.gen_range(0.0..std::f32::consts::TAU);
+        let drift_x = (t * 0.8 + phase).sin() * 0.12;
+        let drift_y = (t * 0.5 + phase).cos() * 0.08;
+        let _ = frame_index;
+        let transform = match self.game_type {
+            GameType::TwoD => {
+                // Orthographic: place directly in NDC; layer by class.
+                let layer = class_index as f32 * 0.01 + j as f32 * 1e-4;
+                Mat4::translation(Vec3::new(px + drift_x, py + drift_y, -layer))
+                    * Mat4::rotation_z((t + phase) * 0.3)
+                    * Mat4::rotation_x(class.tilt)
+                    * Mat4::scale(Vec3::splat(class.size))
+            }
+            GameType::ThreeD => {
+                let dist = class.distance * (1.0 + 0.3 * (t * 0.4 + phase).sin());
+                let proj = Mat4::perspective(1.05, 2.0, 0.5, 120.0);
+                proj * Mat4::translation(Vec3::new(
+                    (px + drift_x) * dist * 0.9,
+                    (py + drift_y) * dist * 0.55,
+                    -dist,
+                )) * Mat4::rotation_y(t * 0.7 + phase)
+                    * Mat4::rotation_x(class.tilt)
+                    * Mat4::scale(Vec3::splat(class.size))
+            }
+        };
+        let _ = rng;
+        DrawCall {
+            mesh: Arc::clone(&self.meshes[class.mesh]),
+            transform,
+            vertex_shader: class.vertex_shader,
+            fragment_shader: class.fragment_shader,
+            texture: class.texture.map(|i| self.textures[i]),
+            blend: class.blend,
+            depth_test: class.depth_test,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::meshes::unit_quad;
+    use megsim_gfx::shader::ShaderProgram;
+
+    fn tiny_workload(frames_per_segment: usize) -> Workload {
+        let mut shaders = ShaderTable::new();
+        shaders.add(ShaderProgram::vertex(0, "v0", 10));
+        shaders.add(ShaderProgram::vertex(1, "v1", 20));
+        shaders.add(ShaderProgram::fragment(0, "f0", 8, vec![]));
+        shaders.add(ShaderProgram::fragment(1, "f1", 16, vec![]));
+        let class = |vs: u32, fs: u32, base: f64| ObjectClass {
+            mesh: 0,
+            vertex_shader: ShaderId(vs),
+            fragment_shader: ShaderId(fs),
+            texture: None,
+            blend: BlendMode::Opaque,
+            depth_test: true,
+            base_count: base,
+            count_amplitude: 1.0,
+            wobble_freq: 0.5,
+            size: 0.2,
+            tilt: 0.0,
+            distance: 5.0,
+        };
+        Workload::new(WorkloadSpec {
+            name: "Test Game".into(),
+            alias: "tst".into(),
+            game_type: GameType::TwoD,
+            shaders,
+            textures: vec![],
+            meshes: vec![unit_quad(0)],
+            templates: vec![
+                SegmentTemplate {
+                    label: "menu".into(),
+                    classes: vec![class(0, 0, 3.0)],
+                },
+                SegmentTemplate {
+                    label: "play".into(),
+                    classes: vec![class(1, 1, 10.0), class(0, 1, 4.0)],
+                },
+            ],
+            timeline: vec![(0, frames_per_segment), (1, frames_per_segment), (0, frames_per_segment)],
+            seed: 42,
+            noise: 0.05,
+            spike_probability: 0.0,
+            transition_boost: 1.0,
+        })
+    }
+
+    #[test]
+    fn frame_count_is_timeline_total() {
+        let w = tiny_workload(10);
+        assert_eq!(w.frames(), 30);
+    }
+
+    #[test]
+    fn segments_resolve_by_frame_index() {
+        let w = tiny_workload(10);
+        assert_eq!(w.segment_at(0).template, 0);
+        assert_eq!(w.segment_at(10).template, 1);
+        assert_eq!(w.segment_at(19).template, 1);
+        assert_eq!(w.segment_at(29).template, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn segment_at_rejects_overflow() {
+        let w = tiny_workload(10);
+        let _ = w.segment_at(30);
+    }
+
+    #[test]
+    fn frames_are_deterministic() {
+        let w = tiny_workload(10);
+        let a = w.frame(5);
+        let b = w.frame(5);
+        assert_eq!(a.draws.len(), b.draws.len());
+        for (x, y) in a.draws.iter().zip(&b.draws) {
+            assert_eq!(x.transform, y.transform);
+            assert_eq!(x.vertex_shader, y.vertex_shader);
+        }
+    }
+
+    #[test]
+    fn different_segments_use_different_shaders() {
+        let w = tiny_workload(10);
+        let menu = w.frame(2);
+        let play = w.frame(15);
+        assert!(menu.draws.iter().all(|d| d.vertex_shader == ShaderId(0)));
+        assert!(play.draws.iter().any(|d| d.vertex_shader == ShaderId(1)));
+        assert!(play.draws.len() > menu.draws.len());
+    }
+
+    #[test]
+    fn same_template_segments_are_similar() {
+        let w = tiny_workload(10);
+        // Frames 2 and 22 are both "menu": draw counts within noise.
+        let a = w.frame(2).draws.len() as f64;
+        let b = w.frame(22).draws.len() as f64;
+        assert!((a - b).abs() <= 3.0, "a = {a}, b = {b}");
+    }
+
+    #[test]
+    fn iter_frames_covers_sequence() {
+        let w = tiny_workload(5);
+        assert_eq!(w.iter_frames().count(), 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown mesh")]
+    fn spec_validation_catches_bad_mesh() {
+        let mut w = tiny_workload(1);
+        let mut spec_template = w.templates()[0].clone();
+        spec_template.classes[0].mesh = 99;
+        // Rebuild with a corrupted template.
+        let mut shaders = ShaderTable::new();
+        shaders.add(ShaderProgram::vertex(0, "v0", 10));
+        shaders.add(ShaderProgram::fragment(0, "f0", 8, vec![]));
+        w = Workload::new(WorkloadSpec {
+            name: "x".into(),
+            alias: "x".into(),
+            game_type: GameType::TwoD,
+            shaders,
+            textures: vec![],
+            meshes: vec![unit_quad(0)],
+            templates: vec![spec_template],
+            timeline: vec![(0, 1)],
+            seed: 0,
+            noise: 0.0,
+            spike_probability: 0.0,
+            transition_boost: 1.0,
+        });
+        let _ = w;
+    }
+}

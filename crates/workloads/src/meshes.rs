@@ -1,0 +1,196 @@
+//! Procedural mesh library for the synthetic games.
+//!
+//! All meshes are unit-sized (fit in `[-0.5, 0.5]³`), wound
+//! counter-clockwise when viewed from +Z (sprites) or from outside
+//! (solids), and carry UVs derived from their parameterization.
+
+use std::sync::Arc;
+
+use megsim_gfx::geometry::{Mesh, Vertex};
+use megsim_gfx::math::{Vec2, Vec3};
+
+fn v(x: f32, y: f32, z: f32, u: f32, w: f32) -> Vertex {
+    Vertex {
+        position: Vec3::new(x, y, z),
+        normal: Vec3::new(0.0, 0.0, 1.0),
+        uv: Vec2::new(u, w),
+    }
+}
+
+/// A unit quad in the XY plane facing +Z (sprites, UI, billboards).
+pub fn unit_quad(base_address: u64) -> Arc<Mesh> {
+    Arc::new(Mesh::new(
+        vec![
+            v(-0.5, -0.5, 0.0, 0.0, 0.0),
+            v(0.5, -0.5, 0.0, 1.0, 0.0),
+            v(0.5, 0.5, 0.0, 1.0, 1.0),
+            v(-0.5, 0.5, 0.0, 0.0, 1.0),
+        ],
+        vec![0, 1, 2, 0, 2, 3],
+        base_address,
+    ))
+}
+
+/// A unit cube wound CCW from outside (vehicles, crates, buildings).
+pub fn unit_cube(base_address: u64) -> Arc<Mesh> {
+    let p = [
+        (-0.5, -0.5, 0.5),
+        (0.5, -0.5, 0.5),
+        (0.5, 0.5, 0.5),
+        (-0.5, 0.5, 0.5),
+        (-0.5, -0.5, -0.5),
+        (0.5, -0.5, -0.5),
+        (0.5, 0.5, -0.5),
+        (-0.5, 0.5, -0.5),
+    ];
+    let vertices = p
+        .iter()
+        .map(|&(x, y, z)| v(x, y, z, x + 0.5, y + 0.5))
+        .collect();
+    // CCW when viewed from outside each face.
+    let indices = vec![
+        0, 1, 2, 0, 2, 3, // +Z
+        5, 4, 7, 5, 7, 6, // -Z
+        1, 5, 6, 1, 6, 2, // +X
+        4, 0, 3, 4, 3, 7, // -X
+        3, 2, 6, 3, 6, 7, // +Y
+        4, 5, 1, 4, 1, 0, // -Y
+    ];
+    Arc::new(Mesh::new(vertices, indices, base_address))
+}
+
+/// An `n × m` grid strip in the XZ plane facing +Y tilted toward the
+/// camera (roads, terrain, water). `2 * n * m` triangles.
+///
+/// # Panics
+///
+/// Panics if `n` or `m` is zero.
+pub fn grid(n: u32, m: u32, base_address: u64) -> Arc<Mesh> {
+    assert!(n > 0 && m > 0, "grid dimensions must be non-zero");
+    let mut vertices = Vec::with_capacity(((n + 1) * (m + 1)) as usize);
+    for j in 0..=m {
+        for i in 0..=n {
+            let u = i as f32 / n as f32;
+            let w = j as f32 / m as f32;
+            // Slight height ripple makes the strip non-degenerate when
+            // viewed edge-on.
+            let h = ((i * 3 + j * 5) as f32 * 0.7).sin() * 0.02;
+            vertices.push(v(u - 0.5, h, w - 0.5, u, w));
+        }
+    }
+    let mut indices = Vec::with_capacity((n * m * 6) as usize);
+    for j in 0..m {
+        for i in 0..n {
+            let a = j * (n + 1) + i;
+            let b = a + 1;
+            let c = a + (n + 1);
+            let d = c + 1;
+            // CCW viewed from +Y (looking down).
+            indices.extend_from_slice(&[a, c, b, b, c, d]);
+        }
+    }
+    Arc::new(Mesh::new(vertices, indices, base_address))
+}
+
+/// A triangle fan approximating a disc facing +Z (particles, coins,
+/// explosion bursts). `n` triangles.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn disc(n: u32, base_address: u64) -> Arc<Mesh> {
+    assert!(n >= 3, "a disc needs at least 3 segments");
+    let mut vertices = vec![v(0.0, 0.0, 0.0, 0.5, 0.5)];
+    for i in 0..n {
+        let a = i as f32 / n as f32 * std::f32::consts::TAU;
+        vertices.push(v(
+            a.cos() * 0.5,
+            a.sin() * 0.5,
+            0.0,
+            a.cos() * 0.5 + 0.5,
+            a.sin() * 0.5 + 0.5,
+        ));
+    }
+    let mut indices = Vec::with_capacity(n as usize * 3);
+    for i in 0..n {
+        let b = 1 + i;
+        let c = 1 + (i + 1) % n;
+        indices.extend_from_slice(&[0, b, c]);
+    }
+    Arc::new(Mesh::new(vertices, indices, base_address))
+}
+
+/// A low-poly "gem": two fans sharing a rim, a stand-in for character
+/// or vehicle blobs. `2n` triangles, closed CCW-out surface.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn gem(n: u32, base_address: u64) -> Arc<Mesh> {
+    assert!(n >= 3, "a gem needs at least 3 segments");
+    let mut vertices = vec![
+        v(0.0, 0.0, 0.5, 0.5, 1.0),  // front apex
+        v(0.0, 0.0, -0.5, 0.5, 0.0), // back apex
+    ];
+    for i in 0..n {
+        let a = i as f32 / n as f32 * std::f32::consts::TAU;
+        vertices.push(v(a.cos() * 0.5, a.sin() * 0.5, 0.0, i as f32 / n as f32, 0.5));
+    }
+    let mut indices = Vec::with_capacity(n as usize * 6);
+    for i in 0..n {
+        let b = 2 + i;
+        let c = 2 + (i + 1) % n;
+        // Front fan CCW seen from +Z; back fan CCW seen from -Z.
+        indices.extend_from_slice(&[0, b, c]);
+        indices.extend_from_slice(&[1, c, b]);
+    }
+    Arc::new(Mesh::new(vertices, indices, base_address))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quad_has_two_triangles() {
+        let m = unit_quad(0);
+        assert_eq!(m.triangle_count(), 2);
+        assert_eq!(m.vertices.len(), 4);
+    }
+
+    #[test]
+    fn cube_has_twelve_triangles() {
+        let m = unit_cube(0);
+        assert_eq!(m.triangle_count(), 12);
+        assert_eq!(m.vertices.len(), 8);
+    }
+
+    #[test]
+    fn grid_counts_scale() {
+        let m = grid(4, 3, 0);
+        assert_eq!(m.vertices.len(), 5 * 4);
+        assert_eq!(m.triangle_count(), 4 * 3 * 2);
+    }
+
+    #[test]
+    fn disc_and_gem_close_up() {
+        assert_eq!(disc(8, 0).triangle_count(), 8);
+        assert_eq!(gem(6, 0).triangle_count(), 12);
+    }
+
+    #[test]
+    fn meshes_fit_unit_box() {
+        for m in [unit_quad(0), unit_cube(0), grid(4, 4, 0), disc(8, 0), gem(6, 0)] {
+            for vtx in &m.vertices {
+                assert!(vtx.position.x.abs() <= 0.5 + 1e-6);
+                assert!(vtx.position.y.abs() <= 0.5 + 1e-6);
+                assert!(vtx.position.z.abs() <= 0.5 + 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn base_addresses_propagate() {
+        assert_eq!(unit_quad(0x1234).base_address, 0x1234);
+    }
+}

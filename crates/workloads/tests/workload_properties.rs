@@ -1,0 +1,97 @@
+//! Property tests of the synthetic benchmark suite: structural
+//! invariants that must hold for any (scale, seed) combination.
+
+use proptest::prelude::*;
+
+use megsim_workloads::{build, BENCHMARKS};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn every_benchmark_builds_and_covers_its_timeline(
+        bench in 0usize..8,
+        scale in 0.002f64..0.03,
+        seed in 0u64..1000,
+    ) {
+        let info = &BENCHMARKS[bench];
+        let w = build(info, scale, seed);
+        // Timeline tiles the frame range exactly.
+        let mut expected_start = 0usize;
+        for s in w.timeline() {
+            prop_assert_eq!(s.start, expected_start);
+            prop_assert!(s.len > 0);
+            prop_assert!(s.template < w.templates().len());
+            expected_start += s.len;
+        }
+        prop_assert_eq!(expected_start, w.frames());
+        // Shader counts match Table II.
+        prop_assert_eq!(w.shaders().vertex_count(), info.vertex_shaders);
+        prop_assert_eq!(w.shaders().fragment_count(), info.fragment_shaders);
+    }
+
+    #[test]
+    fn frames_reference_only_known_shaders(
+        bench in 0usize..8,
+        seed in 0u64..100,
+    ) {
+        let info = &BENCHMARKS[bench];
+        let w = build(info, 0.004, seed);
+        for i in 0..w.frames() {
+            let f = w.frame(i);
+            prop_assert!(!f.draws.is_empty(), "frame {i} empty");
+            for d in &f.draws {
+                prop_assert!((d.vertex_shader.0 as usize) < info.vertex_shaders);
+                prop_assert!((d.fragment_shader.0 as usize) < info.fragment_shaders);
+            }
+        }
+    }
+
+    #[test]
+    fn segment_lookup_matches_linear_scan(
+        bench in 0usize..8,
+        seed in 0u64..100,
+        probe in 0.0f64..1.0,
+    ) {
+        let w = build(&BENCHMARKS[bench], 0.01, seed);
+        let i = ((w.frames() - 1) as f64 * probe) as usize;
+        let fast = w.segment_at(i);
+        let slow = w
+            .timeline()
+            .iter()
+            .find(|s| i >= s.start && i < s.start + s.len)
+            .expect("timeline covers every frame");
+        prop_assert_eq!(fast.start, slow.start);
+        prop_assert_eq!(fast.template, slow.template);
+    }
+
+    #[test]
+    fn same_template_frames_share_shader_set(
+        bench in 0usize..8,
+        seed in 0u64..50,
+    ) {
+        use std::collections::BTreeSet;
+        let w = build(&BENCHMARKS[bench], 0.01, seed);
+        // Find two segments with the same template.
+        let timeline = w.timeline();
+        let mut by_template = std::collections::HashMap::new();
+        for s in timeline {
+            by_template.entry(s.template).or_insert_with(Vec::new).push(*s);
+        }
+        for (_, segs) in by_template.iter().filter(|(_, v)| v.len() >= 2) {
+            let shaders_of = |frame_idx: usize| -> BTreeSet<u32> {
+                w.frame(frame_idx)
+                    .draws
+                    .iter()
+                    .map(|d| d.vertex_shader.0)
+                    .collect()
+            };
+            let a = shaders_of(segs[0].start + segs[0].len / 2);
+            let b = shaders_of(segs[1].start + segs[1].len / 2);
+            // Recurring segments draw from the same shader pool — the
+            // property MEGsim's clustering exploits. (Counts may vary,
+            // zero-count classes may drop out, so subset either way.)
+            prop_assert!(a.is_subset(&b) || b.is_subset(&a), "{a:?} vs {b:?}");
+        }
+    }
+}

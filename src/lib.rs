@@ -1,0 +1,14 @@
+//! Umbrella crate for the MEGsim reproduction workspace.
+//!
+//! Re-exports the member crates so the workspace-level integration tests
+//! and examples can reach everything through a single dependency.
+
+pub use megsim_cluster as cluster;
+pub use megsim_core as core;
+pub use megsim_funcsim as funcsim;
+pub use megsim_gfx as gfx;
+pub use megsim_mem as mem;
+pub use megsim_power as power;
+pub use megsim_stats as stats;
+pub use megsim_timing as timing;
+pub use megsim_workloads as workloads;

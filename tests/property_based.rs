@@ -1,0 +1,230 @@
+//! Property-based tests (proptest) over the core data structures and
+//! algorithms of the workspace.
+
+use proptest::prelude::*;
+
+use megsim_cluster::{bic_score, euclidean_distance, kmeans, KMeansConfig};
+use megsim_core::pipeline::{select_representatives, MegsimConfig};
+use megsim_core::{normalize, FeatureMatrix, GroupWeights, SimilarityMatrix};
+use megsim_mem::{Cache, CacheConfig, Dram, DramConfig};
+use megsim_stats::{mean, pearson, quantile, relative_error, variance};
+
+// ---------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn pearson_stays_in_unit_interval(
+        xs in prop::collection::vec(-1e6f64..1e6, 2..64),
+        ys in prop::collection::vec(-1e6f64..1e6, 2..64),
+    ) {
+        let n = xs.len().min(ys.len());
+        let r = pearson(&xs[..n], &ys[..n]);
+        prop_assert!((-1.0..=1.0).contains(&r));
+    }
+
+    #[test]
+    fn quantile_is_bounded_by_extremes(
+        xs in prop::collection::vec(-1e9f64..1e9, 1..128),
+        q in 0.0f64..=1.0,
+    ) {
+        let v = quantile(&xs, q);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(v >= min - 1e-9 && v <= max + 1e-9);
+    }
+
+    #[test]
+    fn quantile_is_monotone_in_q(
+        xs in prop::collection::vec(-1e6f64..1e6, 1..64),
+        a in 0.0f64..=1.0,
+        b in 0.0f64..=1.0,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(quantile(&xs, lo) <= quantile(&xs, hi) + 1e-12);
+    }
+
+    #[test]
+    fn variance_is_non_negative(xs in prop::collection::vec(-1e6f64..1e6, 0..64)) {
+        prop_assert!(variance(&xs) >= 0.0);
+    }
+
+    #[test]
+    fn mean_is_within_range(xs in prop::collection::vec(-1e6f64..1e6, 1..64)) {
+        let m = mean(&xs);
+        let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(m >= min - 1e-9 && m <= max + 1e-9);
+    }
+
+    #[test]
+    fn relative_error_is_zero_iff_equal(truth in -1e9f64..1e9) {
+        prop_assume!(truth != 0.0);
+        prop_assert_eq!(relative_error(truth, truth), 0.0);
+        prop_assert!(relative_error(truth * 1.5, truth) > 0.0);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Clustering
+// ---------------------------------------------------------------------
+
+fn points_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
+    (2usize..6).prop_flat_map(|dim| {
+        prop::collection::vec(
+            prop::collection::vec(-100.0f64..100.0, dim..=dim),
+            3..40,
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kmeans_labels_are_valid_and_partition(points in points_strategy(), k in 1usize..5) {
+        let k = k.min(points.len());
+        let result = kmeans(&points, &KMeansConfig::new(k).with_seed(3));
+        prop_assert_eq!(result.labels.len(), points.len());
+        prop_assert!(result.labels.iter().all(|&l| l < k));
+        prop_assert_eq!(result.cluster_sizes().iter().sum::<usize>(), points.len());
+        prop_assert!(result.wcss >= 0.0);
+    }
+
+    #[test]
+    fn kmeans_assigns_each_point_to_its_nearest_centroid(points in points_strategy()) {
+        let k = 3.min(points.len());
+        let result = kmeans(&points, &KMeansConfig::new(k).with_seed(9));
+        for (i, p) in points.iter().enumerate() {
+            let own = euclidean_distance(p, &result.centroids[result.labels[i]]);
+            for c in &result.centroids {
+                prop_assert!(own <= euclidean_distance(p, c) + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn more_clusters_never_increase_wcss_much(points in points_strategy()) {
+        // WCSS at k+1 with a good seed should not exceed WCSS at k by
+        // more than numerical noise (k-means++ keeps it monotone-ish;
+        // we assert a loose 10% bound to avoid flaky strictness).
+        let k = 2.min(points.len());
+        let a = kmeans(&points, &KMeansConfig::new(k).with_seed(5));
+        let b = kmeans(&points, &KMeansConfig::new((k + 1).min(points.len())).with_seed(5));
+        prop_assert!(b.wcss <= a.wcss * 1.1 + 1e-6);
+    }
+
+    #[test]
+    fn bic_is_finite_or_neg_infinity(points in points_strategy()) {
+        let k = 2.min(points.len());
+        let result = kmeans(&points, &KMeansConfig::new(k).with_seed(1));
+        let score = bic_score(&points, &result);
+        prop_assert!(score.is_finite() || score == f64::NEG_INFINITY);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Similarity matrix
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn similarity_is_a_metric_sample(points in points_strategy()) {
+        let m = SimilarityMatrix::from_vectors(&points);
+        let n = points.len();
+        for i in 0..n.min(6) {
+            prop_assert_eq!(m.distance(i, i), 0.0);
+            for j in 0..n.min(6) {
+                prop_assert_eq!(m.distance(i, j), m.distance(j, i));
+                prop_assert!(m.distance(i, j) >= 0.0);
+                // Triangle inequality through point 0.
+                prop_assert!(m.distance(i, j) <= m.distance(i, 0) + m.distance(0, j) + 1e-9);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Normalization & selection
+// ---------------------------------------------------------------------
+
+fn matrix_strategy() -> impl Strategy<Value = FeatureMatrix> {
+    (1usize..4, 1usize..4, 2usize..24).prop_flat_map(|(p, q, n)| {
+        prop::collection::vec(
+            prop::collection::vec(0.0f64..1e5, p + q + 1),
+            n..=n,
+        )
+        .prop_map(move |rows| FeatureMatrix {
+            rows,
+            vscv_len: p,
+            fscv_len: q,
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn normalization_preserves_shape_and_finiteness(m in matrix_strategy()) {
+        let norm = normalize(&m, &GroupWeights::paper());
+        prop_assert_eq!(norm.len(), m.frames());
+        for row in &norm {
+            prop_assert_eq!(row.len(), m.dim());
+            prop_assert!(row.iter().all(|v| v.is_finite() && *v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn selection_always_partitions_frames(m in matrix_strategy()) {
+        let sel = select_representatives(&m, &MegsimConfig::default());
+        prop_assert!(sel.k() >= 1);
+        prop_assert!(sel.k() <= m.frames());
+        let sum: usize = sel.representatives.iter().map(|r| r.cluster_size).sum();
+        prop_assert_eq!(sum, m.frames());
+        for rep in &sel.representatives {
+            prop_assert!(rep.frame_index < m.frames());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Memory system
+// ---------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cache_hits_after_access(addrs in prop::collection::vec(0u64..1_000_000, 1..200)) {
+        let mut cache = Cache::new(CacheConfig::new("p", 4096, 64, 2, 1, 1));
+        for &a in &addrs {
+            cache.access(a, false);
+            // Immediately re-accessing the same address must hit.
+            prop_assert!(cache.access(a, false).hit);
+        }
+        let s = cache.stats();
+        prop_assert_eq!(s.hits + s.misses, s.accesses());
+        prop_assert!(s.misses <= addrs.len() as u64);
+    }
+
+    #[test]
+    fn dram_time_is_monotone(
+        addrs in prop::collection::vec(0u64..1_000_000u64, 1..100),
+    ) {
+        let mut dram = Dram::new(DramConfig::default());
+        let mut now = 0u64;
+        let mut last_ready = 0u64;
+        for &a in &addrs {
+            let acc = dram.access(a & !63, now, false);
+            prop_assert!(acc.ready_at > now);
+            prop_assert!(acc.ready_at >= last_ready, "bus is serialized");
+            last_ready = acc.ready_at;
+            now += 7;
+        }
+        prop_assert_eq!(dram.stats().accesses(), addrs.len() as u64);
+    }
+}
