@@ -1,0 +1,74 @@
+//! Functional-simulator benchmarks: per-frame characterization cost
+//! across the three rendering architectures, and whole-sequence
+//! characterization fanned out on the `megsim-exec` worker pool across
+//! a thread sweep (the cost MEGsim pays on *every* frame, so its
+//! throughput bounds the end-to-end speedup).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use megsim_funcsim::{RenderConfig, RenderMode, Renderer};
+use megsim_gfx::draw::Viewport;
+use megsim_workloads::by_alias;
+
+fn bench_render_modes(c: &mut Criterion) {
+    let workload = by_alias("bbr1", 0.02, 7).expect("known alias");
+    let shaders = workload.shaders();
+    let frame = workload.frame(workload.frames() / 2);
+
+    let mut group = c.benchmark_group("funcsim_frame_activity_modes");
+    for (name, mode) in [
+        ("tbr", RenderMode::TileBased),
+        ("tbdr", RenderMode::TileBasedDeferred),
+        ("imr", RenderMode::Immediate),
+    ] {
+        let renderer = Renderer::new(RenderConfig {
+            viewport: Viewport::MALI450_BASELINE,
+            mode,
+        });
+        group.bench_function(name, |b| {
+            b.iter(|| renderer.frame_activity(&frame, shaders));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sequence_characterization(c: &mut Criterion) {
+    let workload = by_alias("jjo", 0.05, 7).expect("known alias");
+    let shaders = workload.shaders();
+    let renderer = Renderer::new(RenderConfig::default());
+    let frames: Vec<_> = workload.iter_frames().collect();
+
+    let max = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut sweep = vec![1];
+    if max >= 2 {
+        sweep.push(2);
+    }
+    if max > 2 {
+        sweep.push(max);
+    }
+
+    let mut group = c.benchmark_group("funcsim_sequence_characterization_jjo");
+    group.sample_size(10);
+    for threads in sweep {
+        group.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                megsim_exec::set_threads(threads);
+                b.iter(|| {
+                    megsim_exec::par_map_indexed(&frames, |_, f| {
+                        renderer.frame_activity(f, shaders)
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+    megsim_exec::set_threads(0);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_render_modes, bench_sequence_characterization
+}
+criterion_main!(benches);

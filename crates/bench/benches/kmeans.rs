@@ -2,20 +2,22 @@
 //! realistic feature matrices (supports Table III/IV cost analysis).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use megsim_cluster::{kmeans, search_clusters, KMeansConfig, SearchConfig};
+use megsim_cluster::{kmeans, search_clusters, KMeansConfig, PointMatrix, SearchConfig};
 
-fn feature_like_data(n: usize, d: usize) -> Vec<Vec<f64>> {
-    (0..n)
-        .map(|i| {
-            (0..d)
-                .map(|j| {
-                    let phase = (i / 50) % 4;
-                    let base = if j % 4 == phase { 100.0 } else { 5.0 };
-                    base + ((i * 31 + j * 17) % 13) as f64
-                })
-                .collect()
-        })
-        .collect()
+fn feature_like_data(n: usize, d: usize) -> PointMatrix {
+    PointMatrix::from_rows(
+        (0..n)
+            .map(|i| {
+                (0..d)
+                    .map(|j| {
+                        let phase = (i / 50) % 4;
+                        let base = if j % 4 == phase { 100.0 } else { 5.0 };
+                        base + ((i * 31 + j * 17) % 13) as f64
+                    })
+                    .collect()
+            })
+            .collect(),
+    )
 }
 
 fn bench_kmeans(c: &mut Criterion) {

@@ -2,30 +2,74 @@
 //! MEGsim flow (functional characterization + clustering + simulating
 //! only the representatives). The wall-clock ratio is the simulation
 //! speedup the paper reports as 126x at full scale.
+//!
+//! Both flows are additionally swept across worker-pool sizes
+//! (`--threads 1/2/N` equivalent) to measure how the deterministic
+//! execution layer scales; results are bit-identical at every size.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use megsim_core::evaluate::{characterize_sequence, simulate_representatives, simulate_sequence};
 use megsim_core::pipeline::{select_representatives, MegsimConfig};
 use megsim_timing::GpuConfig;
 use megsim_workloads::by_alias;
+
+fn thread_sweep() -> Vec<usize> {
+    let max = std::thread::available_parallelism().map_or(1, usize::from);
+    let mut sweep = vec![1];
+    if max >= 2 {
+        sweep.push(2);
+    }
+    if max > 2 {
+        sweep.push(max);
+    }
+    sweep
+}
 
 fn bench_end_to_end(c: &mut Criterion) {
     let workload = by_alias("pvz", 0.02, 7).expect("known alias"); // 100 frames
     let gpu = GpuConfig::mali450_like();
     let config = MegsimConfig::default();
 
-    c.bench_function("full_sequence_simulation_pvz100", |b| {
-        b.iter(|| simulate_sequence(workload.iter_frames(), workload.shaders(), &gpu));
-    });
+    let mut full = c.benchmark_group("full_sequence_simulation_pvz100");
+    for threads in thread_sweep() {
+        full.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                megsim_exec::set_threads(threads);
+                b.iter(|| simulate_sequence(workload.iter_frames(), workload.shaders(), &gpu));
+            },
+        );
+    }
+    full.finish();
 
-    c.bench_function("megsim_flow_pvz100", |b| {
-        b.iter(|| {
-            let matrix =
-                characterize_sequence(workload.iter_frames(), workload.shaders(), &gpu, &config);
-            let selection = select_representatives(&matrix, &config);
-            simulate_representatives(|i| workload.frame(i), &selection, workload.shaders(), &gpu)
-        });
-    });
+    let mut flow = c.benchmark_group("megsim_flow_pvz100");
+    for threads in thread_sweep() {
+        flow.bench_with_input(
+            BenchmarkId::new("threads", threads),
+            &threads,
+            |b, &threads| {
+                megsim_exec::set_threads(threads);
+                b.iter(|| {
+                    let matrix = characterize_sequence(
+                        workload.iter_frames(),
+                        workload.shaders(),
+                        &gpu,
+                        &config,
+                    );
+                    let selection = select_representatives(&matrix, &config);
+                    simulate_representatives(
+                        |i| workload.frame(i),
+                        &selection,
+                        workload.shaders(),
+                        &gpu,
+                    )
+                });
+            },
+        );
+    }
+    flow.finish();
+    megsim_exec::set_threads(0);
 }
 
 criterion_group! {

@@ -3,7 +3,9 @@
 //! Supported flags: `--scale <f64>` (workload frame-count multiplier,
 //! default 0.25), `--seed <u64>`, `--benchmarks a,b,c` (alias filter),
 //! `--seeds <usize>` (MEGsim seeds for Table IV), `--trials <usize>`
-//! (random sub-sampling trials), `--out <dir>` (artifact directory).
+//! (random sub-sampling trials), `--out <dir>` (artifact directory),
+//! `--threads <usize>` (worker threads; 0 = `MEGSIM_THREADS` env or
+//! all cores — results are identical at any thread count).
 
 /// Parsed experiment options.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +23,10 @@ pub struct ExperimentArgs {
     pub trials: usize,
     /// Output directory for artifacts (PGM images, CSV dumps).
     pub out_dir: String,
+    /// Worker threads for the parallel stages (0 = `MEGSIM_THREADS`
+    /// env or available parallelism). Purely a wall-clock knob: every
+    /// result is bit-identical at any thread count.
+    pub threads: usize,
 }
 
 impl Default for ExperimentArgs {
@@ -32,6 +38,7 @@ impl Default for ExperimentArgs {
             seeds: 12,
             trials: 1000,
             out_dir: "target/experiments".to_string(),
+            threads: 0,
         }
     }
 }
@@ -84,10 +91,15 @@ impl ExperimentArgs {
                         .map_err(|e| format!("bad --trials: {e}"))?;
                 }
                 "--out" => out.out_dir = value("--out")?,
+                "--threads" => {
+                    out.threads = value("--threads")?
+                        .parse()
+                        .map_err(|e| format!("bad --threads: {e}"))?;
+                }
                 "--help" | "-h" => {
                     return Err(concat!(
                         "usage: <bin> [--scale F] [--seed N] [--benchmarks a,b]",
-                        " [--seeds N] [--trials N] [--out DIR]"
+                        " [--seeds N] [--trials N] [--out DIR] [--threads N]"
                     )
                     .into())
                 }
@@ -135,7 +147,7 @@ mod tests {
     fn parses_all_flags() {
         let a = parse(&[
             "--scale", "0.5", "--seed", "7", "--benchmarks", "asp,jjo", "--seeds", "3",
-            "--trials", "50", "--out", "/tmp/x",
+            "--trials", "50", "--out", "/tmp/x", "--threads", "4",
         ])
         .unwrap();
         assert_eq!(a.scale, 0.5);
@@ -144,6 +156,7 @@ mod tests {
         assert_eq!(a.seeds, 3);
         assert_eq!(a.trials, 50);
         assert_eq!(a.out_dir, "/tmp/x");
+        assert_eq!(a.threads, 4);
     }
 
     #[test]
@@ -160,5 +173,6 @@ mod tests {
         assert!(parse(&["--scale", "-1"]).is_err());
         assert!(parse(&["--wat"]).is_err());
         assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--threads", "many"]).is_err());
     }
 }

@@ -50,8 +50,11 @@ pub struct Context {
 }
 
 impl Context {
-    /// Builds a context from parsed arguments.
+    /// Builds a context from parsed arguments and applies the
+    /// `--threads` choice to the worker pool (0 keeps the
+    /// `MEGSIM_THREADS` / hardware default).
     pub fn new(args: ExperimentArgs) -> Self {
+        megsim_exec::set_threads(args.threads);
         let megsim = MegsimConfig::default().with_seed(args.seed);
         Self {
             args,
@@ -88,6 +91,12 @@ pub fn compute_benchmark(ctx: &Context, info: &BenchmarkInfo) -> BenchmarkData {
 }
 
 /// Simulates every selected benchmark.
+///
+/// Benchmarks run one after another on purpose: each one's frame-level
+/// fan-out already saturates the worker pool with uniformly sized work
+/// items, which balances better than one coarse task per benchmark
+/// (the nested-parallelism guard would serialize the inner frame loops
+/// anyway).
 pub fn compute_suite(ctx: &Context) -> Vec<BenchmarkData> {
     BENCHMARKS
         .iter()
@@ -336,7 +345,7 @@ pub fn fig4(data: &[BenchmarkData]) -> String {
 /// Builds the (normalized) similarity matrix of one benchmark.
 pub fn similarity_of(d: &BenchmarkData, config: &MegsimConfig) -> SimilarityMatrix {
     let normalized = megsim_core::normalize(&d.matrix, &config.weights);
-    SimilarityMatrix::from_vectors(&normalized)
+    SimilarityMatrix::from_points(&normalized)
 }
 
 /// Renders Fig. 5 (ASCII view; the PGM is written by the binary).
@@ -386,11 +395,10 @@ pub fn fig6(d: &BenchmarkData, config: &MegsimConfig) -> String {
 // Table III / Fig. 7 — reduction factor and accuracy
 // ---------------------------------------------------------------------
 
-/// Runs the MEGsim selection + estimation on every benchmark.
+/// Runs the MEGsim selection + estimation on every benchmark, fanning
+/// out across the (up to 8) benchmarks on the worker pool.
 pub fn run_all_megsim(data: &[BenchmarkData], config: &MegsimConfig) -> Vec<MegsimRun> {
-    data.iter()
-        .map(|d| evaluate_megsim(&d.matrix, &d.per_frame, config))
-        .collect()
+    megsim_exec::par_map_indexed(data, |_, d| evaluate_megsim(&d.matrix, &d.per_frame, config))
 }
 
 /// Renders Table III from precomputed runs.
@@ -469,14 +477,15 @@ pub struct Table4Row {
 /// different k-means seedings (the paper uses 100) and random
 /// sub-sampling grows until its 95 %-confidence error matches.
 pub fn table4_row(d: &BenchmarkData, config: &MegsimConfig, seeds: usize, trials: usize) -> Table4Row {
-    let mut errors = Vec::with_capacity(seeds);
-    let mut frames = 0usize;
-    for s in 0..seeds {
+    // Every seeding is an independent end-to-end MEGsim run; fan them
+    // out on the pool (each run derives everything from its seed index).
+    let runs = megsim_exec::par_map_range(seeds, |s| {
         let cfg = (*config).with_seed(config.search.seed ^ (0xABCD + s as u64));
         let run = evaluate_megsim(&d.matrix, &d.per_frame, &cfg);
-        errors.push(run.errors.cycles);
-        frames += run.frames_simulated();
-    }
+        (run.errors.cycles, run.frames_simulated())
+    });
+    let mut errors: Vec<f64> = runs.iter().map(|&(e, _)| e).collect();
+    let frames: usize = runs.iter().map(|&(_, f)| f).sum();
     errors.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
     let megsim_max_error = quantile(&errors, 0.95).max(1e-6);
     let cycles = d.cycles_series();

@@ -48,7 +48,7 @@ pub fn feature_matrix_csv(matrix: &FeatureMatrix) -> String {
         let _ = write!(out, ",fscv_{i}");
     }
     out.push_str(",prim\n");
-    for (i, row) in matrix.rows.iter().enumerate() {
+    for (i, row) in matrix.rows.iter_rows().enumerate() {
         let _ = write!(out, "{i}");
         for v in row {
             let _ = write!(out, ",{v}");
@@ -107,11 +107,7 @@ mod tests {
 
     #[test]
     fn feature_matrix_csv_layout() {
-        let m = FeatureMatrix {
-            rows: vec![vec![1.0, 2.0, 3.0, 4.0]],
-            vscv_len: 2,
-            fscv_len: 1,
-        };
+        let m = FeatureMatrix::from_rows(vec![vec![1.0, 2.0, 3.0, 4.0]], 2, 1);
         let csv = feature_matrix_csv(&m);
         let lines: Vec<&str> = csv.lines().collect();
         assert_eq!(lines[0], "frame,vscv_0,vscv_1,fscv_0,prim");

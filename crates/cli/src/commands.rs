@@ -31,11 +31,17 @@ commands:
                representatives and report estimated totals; with
                --ground-truth also run the full simulation and report
                the Fig. 7 relative errors
-  help         print this message";
+  help         print this message
+
+global options:
+  --threads N  worker threads for the parallel stages (0 = MEGSIM_THREADS
+               env or all cores); results are identical at any count";
 
 /// Dispatches a full argv (including program name).
 pub fn run(argv: &[String]) -> Result<(), String> {
     let mut opts = Options::parse(argv)?;
+    let threads: usize = opts.flag("threads", 0)?;
+    megsim_exec::set_threads(threads);
     match opts.command.as_str() {
         "record" => record(&mut opts),
         "info" => info(&mut opts),
@@ -60,12 +66,14 @@ struct Options {
 
 impl Options {
     fn parse(argv: &[String]) -> Result<Self, String> {
-        let mut it = argv.iter().skip(1);
-        let command = it.next().cloned().unwrap_or_default();
+        // Global flags may appear before or after the subcommand: the
+        // first non-flag token is the command, everything else keeps
+        // its relative meaning.
+        let mut command = String::new();
         let mut positional = Vec::new();
         let mut flags = HashMap::new();
         let mut bools = Vec::new();
-        let rest: Vec<&String> = it.collect();
+        let rest: Vec<&String> = argv.iter().skip(1).collect();
         let mut i = 0;
         while i < rest.len() {
             let a = rest[i];
@@ -80,6 +88,9 @@ impl Options {
                     flags.insert(name.to_string(), (*value).clone());
                     i += 2;
                 }
+            } else if command.is_empty() {
+                command = a.clone();
+                i += 1;
             } else {
                 positional.push(a.clone());
                 i += 1;
@@ -135,10 +146,8 @@ fn characterize_frames(
         viewport: gpu.viewport,
         mode: gpu.render_mode,
     });
-    let activities: Vec<_> = frames
-        .iter()
-        .map(|f| renderer.frame_activity(f, shaders))
-        .collect();
+    let activities =
+        megsim_exec::par_map_indexed(frames, |_, f| renderer.frame_activity(f, shaders));
     feature_matrix(activities.iter(), shaders, &Default::default())
 }
 

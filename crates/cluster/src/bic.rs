@@ -13,6 +13,7 @@
 //! variance of the distance from each point to its centroid.
 
 use crate::kmeans::KMeansResult;
+use crate::matrix::PointMatrix;
 
 /// BIC score of a k-means clustering over `data` (higher is better).
 ///
@@ -22,11 +23,11 @@ use crate::kmeans::KMeansResult;
 /// # Panics
 ///
 /// Panics if `data` is empty or label/point counts disagree.
-pub fn bic_score(data: &[Vec<f64>], result: &KMeansResult) -> f64 {
+pub fn bic_score(data: &PointMatrix, result: &KMeansResult) -> f64 {
     assert!(!data.is_empty(), "BIC of an empty dataset is undefined");
     assert_eq!(data.len(), result.labels.len(), "labels/points mismatch");
     let r = data.len() as f64;
-    let m = data[0].len() as f64;
+    let m = data.dim() as f64;
     let k = result.k() as f64;
     // Pooled variance estimate of Eq. 6: σ² = WCSS / (R − K)
     // (maximum-likelihood estimate with K centroid parameters spent).
@@ -57,7 +58,7 @@ mod tests {
     use super::*;
     use crate::kmeans::{kmeans, KMeansConfig};
 
-    fn blobs(n_per: usize, centers: &[f64]) -> Vec<Vec<f64>> {
+    fn blobs(n_per: usize, centers: &[f64]) -> PointMatrix {
         let mut pts = Vec::new();
         for &c in centers {
             for i in 0..n_per {
@@ -66,7 +67,7 @@ mod tests {
                 pts.push(vec![c + j, c - j]);
             }
         }
-        pts
+        PointMatrix::from_rows(pts)
     }
 
     #[test]
@@ -100,7 +101,7 @@ mod tests {
 
     #[test]
     fn zero_variance_fit_is_rejected() {
-        let data = vec![vec![1.0], vec![2.0], vec![3.0]];
+        let data = PointMatrix::from_rows(vec![vec![1.0], vec![2.0], vec![3.0]]);
         let r = kmeans(&data, &KMeansConfig::new(3).with_seed(0));
         assert_eq!(bic_score(&data, &r), f64::NEG_INFINITY);
     }

@@ -3,9 +3,18 @@
 //! This is the clustering engine of paper §III-E: it partitions the
 //! per-frame vectors of characteristics into `k` clusters minimizing the
 //! within-cluster sum of squares (WCSS, Eq. 4).
+//!
+//! Observations live in a contiguous [`PointMatrix`]; the assignment
+//! step (the O(n·k·d) hot loop) runs on the `megsim-exec` worker pool
+//! when the problem is large enough to pay for it. Parallelism cannot
+//! change the result: only integer label assignments are computed
+//! concurrently, while every floating-point accumulation (centroid
+//! update, WCSS) stays in a fixed sequential order.
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
+
+use crate::matrix::PointMatrix;
 
 /// Squared Euclidean distance between two equal-length vectors.
 #[inline]
@@ -108,9 +117,9 @@ impl KMeansResult {
     /// Index of the point closest to each centroid — the paper's cluster
     /// *representatives* (§III-E): "the selected frame for a cluster is
     /// the one with the lowest distance" to the centroid.
-    pub fn representatives(&self, data: &[Vec<f64>]) -> Vec<usize> {
+    pub fn representatives(&self, data: &PointMatrix) -> Vec<usize> {
         let mut best: Vec<(usize, f64)> = vec![(usize::MAX, f64::INFINITY); self.k()];
-        for (i, point) in data.iter().enumerate() {
+        for (i, point) in data.iter_rows().enumerate() {
             let c = self.labels[i];
             let d = squared_distance(point, &self.centroids[c]);
             if d < best[c].1 {
@@ -125,86 +134,136 @@ impl KMeansResult {
 ///
 /// # Panics
 ///
-/// Panics if `data` is empty, rows have inconsistent dimensions, or
-/// `config.k` is zero or exceeds the number of points.
-pub fn kmeans(data: &[Vec<f64>], config: &KMeansConfig) -> KMeansResult {
+/// Panics if `data` is empty or `config.k` is zero or exceeds the
+/// number of points.
+pub fn kmeans(data: &PointMatrix, config: &KMeansConfig) -> KMeansResult {
     assert!(!data.is_empty(), "k-means requires at least one point");
-    let dim = data[0].len();
-    assert!(
-        data.iter().all(|p| p.len() == dim),
-        "inconsistent point dimensions"
-    );
-    assert!(
-        config.k >= 1 && config.k <= data.len(),
-        "k must be in [1, n]"
-    );
+    let n = data.len();
+    let dim = data.dim();
+    assert!(config.k >= 1 && config.k <= n, "k must be in [1, n]");
+    let k = config.k;
     let mut rng = SmallRng::seed_from_u64(config.seed);
-    let mut centroids = match config.init {
-        InitMethod::KMeansPlusPlus => init_plus_plus(data, config.k, &mut rng),
-        InitMethod::Random => init_random(data, config.k, &mut rng),
+    // Centroids as one flat k×dim buffer, matching the data layout.
+    let mut centroids: Vec<f64> = match config.init {
+        InitMethod::KMeansPlusPlus => init_plus_plus(data, k, &mut rng),
+        InitMethod::Random => init_random(data, k, &mut rng),
     };
-    let mut labels = vec![0usize; data.len()];
+    let mut labels = vec![0usize; n];
     let mut iterations = 0;
     for iter in 0..config.max_iterations {
         iterations = iter + 1;
-        // Assignment step.
-        for (i, point) in data.iter().enumerate() {
-            labels[i] = nearest_centroid(point, &centroids).0;
-        }
-        // Update step.
-        let mut sums = vec![vec![0.0; dim]; config.k];
-        let mut counts = vec![0usize; config.k];
-        for (point, &label) in data.iter().zip(&labels) {
+        // Assignment step — integer outputs only, safe to parallelize.
+        assign_labels(data, &centroids, &mut labels);
+        // Update step: sequential so float accumulation order is fixed.
+        let mut sums = vec![0.0f64; k * dim];
+        let mut counts = vec![0usize; k];
+        for (point, &label) in data.iter_rows().zip(&labels) {
             counts[label] += 1;
-            for (s, v) in sums[label].iter_mut().zip(point) {
+            for (s, v) in sums[label * dim..(label + 1) * dim].iter_mut().zip(point) {
                 *s += v;
             }
         }
         let mut movement = 0.0;
-        for c in 0..config.k {
+        for c in 0..k {
+            let slot = c * dim..(c + 1) * dim;
             if counts[c] == 0 {
                 // Empty cluster: reseed to the point farthest from its
                 // centroid, the standard k-means repair.
-                let far = data
-                    .iter()
-                    .enumerate()
-                    .max_by(|(i, p), (j, q)| {
-                        let di = squared_distance(p, &centroids[labels[*i]]);
-                        let dj = squared_distance(q, &centroids[labels[*j]]);
+                let far = (0..n)
+                    .max_by(|&i, &j| {
+                        let di = point_centroid_d2(data, i, &centroids, labels[i], dim);
+                        let dj = point_centroid_d2(data, j, &centroids, labels[j], dim);
                         di.partial_cmp(&dj).expect("NaN distance")
                     })
-                    .map(|(i, _)| i)
                     .expect("non-empty data");
-                movement += squared_distance(&centroids[c], &data[far]);
-                centroids[c] = data[far].clone();
+                movement += squared_distance(&centroids[slot.clone()], data.row(far));
+                centroids[slot].copy_from_slice(data.row(far));
                 continue;
             }
-            let new: Vec<f64> = sums[c].iter().map(|s| s / counts[c] as f64).collect();
-            movement += squared_distance(&centroids[c], &new);
-            centroids[c] = new;
+            let inv = 1.0 / counts[c] as f64;
+            let mut delta = 0.0;
+            for (s, cur) in sums[slot.clone()].iter().zip(&centroids[slot.clone()]) {
+                let d = s * inv - cur;
+                delta += d * d;
+            }
+            movement += delta;
+            for (cur, s) in centroids[slot].iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
+                *cur = s * inv;
+            }
         }
         if movement <= config.tolerance {
             break;
         }
     }
     // Final assignment with converged centroids.
+    assign_labels(data, &centroids, &mut labels);
     let mut wcss = 0.0;
-    for (i, point) in data.iter().enumerate() {
-        let (label, d2) = nearest_centroid(point, &centroids);
-        labels[i] = label;
-        wcss += d2;
+    for (i, point) in data.iter_rows().enumerate() {
+        wcss += squared_distance(point, &centroids[labels[i] * dim..(labels[i] + 1) * dim]);
     }
     KMeansResult {
-        centroids,
+        centroids: centroids.chunks_exact(dim.max(1)).map(<[f64]>::to_vec).collect(),
         labels,
         wcss,
         iterations,
     }
 }
 
-fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
+/// Runs `restarts` independently seeded k-means and keeps the lowest
+/// WCSS — the paper's multi-seeding robustness protocol, fanned out on
+/// the worker pool (restart `r` uses `config.seed ⊕ hash(r)`; ties
+/// keep the lowest restart index, so the result is thread-count
+/// independent).
+///
+/// # Panics
+///
+/// Panics if `restarts` is zero or `data`/`config.k` are invalid.
+pub fn kmeans_best_of(data: &PointMatrix, config: &KMeansConfig, restarts: usize) -> KMeansResult {
+    assert!(restarts >= 1, "need at least one restart");
+    if restarts == 1 {
+        return kmeans(data, config);
+    }
+    let runs = megsim_exec::par_map_range(restarts, |r| {
+        let seed = config.seed ^ (r as u64).wrapping_mul(0xD1B5_4A32_D192_ED03);
+        kmeans(data, &KMeansConfig { seed, ..*config })
+    });
+    runs.into_iter()
+        .reduce(|best, candidate| if candidate.wcss < best.wcss { candidate } else { best })
+        .expect("restarts >= 1")
+}
+
+fn point_centroid_d2(
+    data: &PointMatrix,
+    i: usize,
+    centroids: &[f64],
+    label: usize,
+    dim: usize,
+) -> f64 {
+    squared_distance(data.row(i), &centroids[label * dim..(label + 1) * dim])
+}
+
+/// Labels every point with its nearest centroid, on the pool when the
+/// problem is big enough to amortize the fan-out.
+fn assign_labels(data: &PointMatrix, centroids: &[f64], labels: &mut [usize]) {
+    let n = data.len();
+    let dim = data.dim().max(1);
+    let k = centroids.len() / dim;
+    // Threshold: roughly the work of one frame's distance kernel below
+    // which spawning threads costs more than it saves.
+    const PAR_WORK: usize = 1 << 20;
+    if n * k * dim >= PAR_WORK {
+        let out = megsim_exec::par_map_range(n, |i| nearest_centroid(data.row(i), centroids, dim).0);
+        labels.copy_from_slice(&out);
+    } else {
+        for (i, point) in data.iter_rows().enumerate() {
+            labels[i] = nearest_centroid(point, centroids, dim).0;
+        }
+    }
+}
+
+fn nearest_centroid(point: &[f64], centroids: &[f64], dim: usize) -> (usize, f64) {
     let mut best = (0usize, f64::INFINITY);
-    for (c, centroid) in centroids.iter().enumerate() {
+    for (c, centroid) in centroids.chunks_exact(dim).enumerate() {
         let d = squared_distance(point, centroid);
         if d < best.1 {
             best = (c, d);
@@ -213,28 +272,30 @@ fn nearest_centroid(point: &[f64], centroids: &[Vec<f64>]) -> (usize, f64) {
     best
 }
 
-fn init_random(data: &[Vec<f64>], k: usize, rng: &mut SmallRng) -> Vec<Vec<f64>> {
+fn init_random(data: &PointMatrix, k: usize, rng: &mut SmallRng) -> Vec<f64> {
     // Sample k distinct indices (Floyd's algorithm would be fancier; a
     // retry loop is fine at these sizes).
-    let mut chosen = Vec::with_capacity(k);
+    let mut chosen = Vec::with_capacity(k * data.dim());
     let mut used = std::collections::HashSet::new();
-    while chosen.len() < k {
+    while used.len() < k {
         let i = rng.gen_range(0..data.len());
         if used.insert(i) {
-            chosen.push(data[i].clone());
+            chosen.extend_from_slice(data.row(i));
         }
     }
     chosen
 }
 
-fn init_plus_plus(data: &[Vec<f64>], k: usize, rng: &mut SmallRng) -> Vec<Vec<f64>> {
+fn init_plus_plus(data: &PointMatrix, k: usize, rng: &mut SmallRng) -> Vec<f64> {
     let first = rng.gen_range(0..data.len());
-    let mut centroids = vec![data[first].clone()];
+    let mut centroids = Vec::with_capacity(k * data.dim());
+    centroids.extend_from_slice(data.row(first));
     let mut d2: Vec<f64> = data
-        .iter()
-        .map(|p| squared_distance(p, &centroids[0]))
+        .iter_rows()
+        .map(|p| squared_distance(p, data.row(first)))
         .collect();
-    while centroids.len() < k {
+    let mut count = 1;
+    while count < k {
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
             // All points coincide with a centroid; any point works.
@@ -252,9 +313,10 @@ fn init_plus_plus(data: &[Vec<f64>], k: usize, rng: &mut SmallRng) -> Vec<Vec<f6
             }
             idx
         };
-        centroids.push(data[next].clone());
-        for (i, p) in data.iter().enumerate() {
-            let d = squared_distance(p, centroids.last().expect("just pushed"));
+        centroids.extend_from_slice(data.row(next));
+        count += 1;
+        for (i, p) in data.iter_rows().enumerate() {
+            let d = squared_distance(p, data.row(next));
             if d < d2[i] {
                 d2[i] = d;
             }
@@ -267,14 +329,14 @@ fn init_plus_plus(data: &[Vec<f64>], k: usize, rng: &mut SmallRng) -> Vec<Vec<f6
 mod tests {
     use super::*;
 
-    fn blobs() -> Vec<Vec<f64>> {
+    fn blobs() -> PointMatrix {
         // Two well-separated 2-D blobs of 5 points each.
         let mut pts = Vec::new();
         for i in 0..5 {
             pts.push(vec![0.0 + 0.1 * i as f64, 0.0]);
             pts.push(vec![10.0 + 0.1 * i as f64, 10.0]);
         }
-        pts
+        PointMatrix::from_rows(pts)
     }
 
     #[test]
@@ -285,7 +347,7 @@ mod tests {
 
     #[test]
     fn k1_centroid_is_global_mean() {
-        let data = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let data = PointMatrix::from_rows(vec![vec![0.0], vec![2.0], vec![4.0]]);
         let r = kmeans(&data, &KMeansConfig::new(1));
         assert!((r.centroids[0][0] - 2.0).abs() < 1e-12);
         assert_eq!(r.labels, vec![0, 0, 0]);
@@ -328,7 +390,7 @@ mod tests {
 
     #[test]
     fn k_equals_n_gives_zero_wcss() {
-        let data = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let data = PointMatrix::from_rows(vec![vec![0.0], vec![5.0], vec![9.0]]);
         let r = kmeans(&data, &KMeansConfig::new(3).with_seed(1));
         assert!(r.wcss < 1e-12);
         let mut sizes = r.cluster_sizes();
@@ -343,8 +405,8 @@ mod tests {
         let reps = r.representatives(&data);
         assert_eq!(reps.len(), 2);
         for (c, &rep) in reps.iter().enumerate() {
-            let d_rep = squared_distance(&data[rep], &r.centroids[c]);
-            for (i, p) in data.iter().enumerate() {
+            let d_rep = squared_distance(data.row(rep), &r.centroids[c]);
+            for (i, p) in data.iter_rows().enumerate() {
                 if r.labels[i] == c {
                     assert!(d_rep <= squared_distance(p, &r.centroids[c]) + 1e-12);
                 }
@@ -354,7 +416,7 @@ mod tests {
 
     #[test]
     fn duplicate_points_do_not_panic() {
-        let data = vec![vec![1.0, 1.0]; 6];
+        let data = PointMatrix::from_rows(vec![vec![1.0, 1.0]; 6]);
         let r = kmeans(&data, &KMeansConfig::new(2).with_seed(9));
         assert_eq!(r.labels.len(), 6);
         assert!(r.wcss < 1e-12);
@@ -363,7 +425,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "k must be in")]
     fn rejects_k_larger_than_n() {
-        let _ = kmeans(&[vec![1.0]], &KMeansConfig::new(2));
+        let _ = kmeans(
+            &PointMatrix::from_rows(vec![vec![1.0]]),
+            &KMeansConfig::new(2),
+        );
     }
 
     #[test]
@@ -371,5 +436,17 @@ mod tests {
         let data = blobs();
         let r = kmeans(&data, &KMeansConfig::new(4).with_seed(5));
         assert_eq!(r.cluster_sizes().iter().sum::<usize>(), data.len());
+    }
+
+    #[test]
+    fn best_of_never_beats_its_own_runs_and_is_deterministic() {
+        let data = blobs();
+        let config = KMeansConfig::new(3).with_seed(17);
+        let best = kmeans_best_of(&data, &config, 8);
+        let again = kmeans_best_of(&data, &config, 8);
+        assert_eq!(best, again);
+        // The selected run is at least as good as the single-seed run.
+        let single = kmeans_best_of(&data, &config, 1);
+        assert!(best.wcss <= single.wcss + 1e-12);
     }
 }

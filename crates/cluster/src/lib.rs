@@ -6,13 +6,22 @@
 //! BIC-threshold search loop of §III-F that picks the number of
 //! clusters.
 //!
+//! Observations live in a contiguous row-major [`PointMatrix`] so the
+//! distance kernels stream cache lines instead of pointer-chasing
+//! per-row allocations, and the heavy stages (label assignment on large
+//! inputs, multi-seed restarts) fan out on the deterministic
+//! `megsim-exec` worker pool — results are bit-identical at any thread
+//! count.
+//!
 //! ```
-//! use megsim_cluster::{search_clusters, SearchConfig};
+//! use megsim_cluster::{search_clusters, PointMatrix, SearchConfig};
 //!
 //! // Two obvious groups of 1-D points.
-//! let data: Vec<Vec<f64>> = (0..20)
-//!     .map(|i| vec![if i % 2 == 0 { 0.0 } else { 100.0 } + (i as f64) * 0.1])
-//!     .collect();
+//! let data = PointMatrix::from_rows(
+//!     (0..20)
+//!         .map(|i| vec![if i % 2 == 0 { 0.0 } else { 100.0 } + (i as f64) * 0.1])
+//!         .collect(),
+//! );
 //! let found = search_clusters(&data, &SearchConfig::default());
 //! assert_eq!(found.k, 2);
 //! ```
@@ -22,10 +31,15 @@
 
 pub mod bic;
 pub mod kmeans;
+pub mod matrix;
 pub mod search;
 pub mod silhouette;
 
 pub use bic::bic_score;
-pub use kmeans::{euclidean_distance, kmeans, InitMethod, KMeansConfig, KMeansResult};
+pub use kmeans::{
+    euclidean_distance, kmeans, kmeans_best_of, squared_distance, InitMethod, KMeansConfig,
+    KMeansResult,
+};
+pub use matrix::PointMatrix;
 pub use search::{search_clusters, SearchConfig, SearchResult};
 pub use silhouette::{best_by_silhouette, silhouette_score};

@@ -1,0 +1,163 @@
+//! Contiguous row-major point storage shared by the distance kernels.
+//!
+//! The original implementation stored observations as `Vec<Vec<f64>>`,
+//! which puts every row behind its own heap allocation: the inner
+//! loops of k-means, BIC, silhouette, and the similarity matrix then
+//! pointer-chase on every distance. [`PointMatrix`] packs all rows
+//! into one flat buffer so row access is a bounds-checked slice into
+//! contiguous memory and streaming the whole matrix is a linear scan.
+
+/// A dense `rows × dim` matrix of `f64` observations, row-major.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct PointMatrix {
+    data: Vec<f64>,
+    dim: usize,
+    rows: usize,
+}
+
+impl PointMatrix {
+    /// An empty matrix whose rows will have `dim` columns.
+    pub fn new(dim: usize) -> Self {
+        PointMatrix { data: Vec::new(), dim, rows: 0 }
+    }
+
+    /// An empty matrix with storage reserved for `rows` rows.
+    pub fn with_capacity(rows: usize, dim: usize) -> Self {
+        PointMatrix {
+            data: Vec::with_capacity(rows * dim),
+            dim,
+            rows: 0,
+        }
+    }
+
+    /// Packs nested rows into contiguous storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows have inconsistent lengths.
+    pub fn from_rows(rows: Vec<Vec<f64>>) -> Self {
+        let dim = rows.first().map_or(0, Vec::len);
+        let mut matrix = PointMatrix::with_capacity(rows.len(), dim);
+        for row in &rows {
+            matrix.push_row(row);
+        }
+        matrix
+    }
+
+    /// Wraps an existing flat buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not a multiple of `dim` (a `dim` of 0
+    /// requires empty data).
+    pub fn from_flat(data: Vec<f64>, dim: usize) -> Self {
+        let rows = if dim == 0 {
+            assert!(data.is_empty(), "dim 0 requires empty data");
+            0
+        } else {
+            assert_eq!(data.len() % dim, 0, "data length not a multiple of dim");
+            data.len() / dim
+        };
+        PointMatrix { data, dim, rows }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != dim`.
+    pub fn push_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.dim, "row length != matrix dim");
+        self.data.extend_from_slice(row);
+        self.rows += 1;
+    }
+
+    /// Number of rows (observations).
+    pub fn len(&self) -> usize {
+        self.rows
+    }
+
+    /// Whether the matrix has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows == 0
+    }
+
+    /// Number of columns per row.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Row `i` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range.
+    pub fn row(&self, i: usize) -> &[f64] {
+        assert!(i < self.rows, "row {i} out of range ({} rows)", self.rows);
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    /// Iterates rows in order as slices.
+    pub fn iter_rows(&self) -> impl ExactSizeIterator<Item = &[f64]> + Clone {
+        // `chunks_exact(0)` would panic; an empty matrix has no rows to
+        // yield regardless of dim.
+        self.data.chunks_exact(self.dim.max(1)).take(self.rows)
+    }
+
+    /// The whole matrix as one flat row-major slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning the flat buffer.
+    pub fn into_flat(self) -> Vec<f64> {
+        self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_rows_roundtrips() {
+        let m = PointMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.dim(), 2);
+        assert_eq!(m.row(0), &[1.0, 2.0]);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0]);
+        let rows: Vec<&[f64]> = m.iter_rows().collect();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1], &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn push_row_appends() {
+        let mut m = PointMatrix::new(3);
+        m.push_row(&[1.0, 2.0, 3.0]);
+        m.push_row(&[4.0, 5.0, 6.0]);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn empty_matrix_is_well_formed() {
+        let m = PointMatrix::from_rows(vec![]);
+        assert!(m.is_empty());
+        assert_eq!(m.iter_rows().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "row length")]
+    fn inconsistent_rows_panic() {
+        let _ = PointMatrix::from_rows(vec![vec![1.0], vec![2.0, 3.0]]);
+    }
+
+    #[test]
+    fn from_flat_splits_rows() {
+        let m = PointMatrix::from_flat(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+    }
+}

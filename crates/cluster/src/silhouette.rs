@@ -7,6 +7,7 @@
 //! silhouette over all points, in `[-1, 1]` (higher is better).
 
 use crate::kmeans::{euclidean_distance, KMeansResult};
+use crate::matrix::PointMatrix;
 
 /// Mean silhouette coefficient of a clustering.
 ///
@@ -17,7 +18,7 @@ use crate::kmeans::{euclidean_distance, KMeansResult};
 /// # Panics
 ///
 /// Panics if labels and points disagree in length.
-pub fn silhouette_score(data: &[Vec<f64>], result: &KMeansResult) -> f64 {
+pub fn silhouette_score(data: &PointMatrix, result: &KMeansResult) -> f64 {
     assert_eq!(data.len(), result.labels.len(), "labels/points mismatch");
     let k = result.k();
     if k < 2 || data.len() < 2 {
@@ -25,14 +26,14 @@ pub fn silhouette_score(data: &[Vec<f64>], result: &KMeansResult) -> f64 {
     }
     let sizes = result.cluster_sizes();
     let mut total = 0.0;
-    for (i, point) in data.iter().enumerate() {
+    for (i, point) in data.iter_rows().enumerate() {
         let own = result.labels[i];
         if sizes[own] <= 1 {
             continue; // silhouette of a singleton is 0
         }
         // Mean distance to every cluster.
         let mut sums = vec![0.0f64; k];
-        for (j, other) in data.iter().enumerate() {
+        for (j, other) in data.iter_rows().enumerate() {
             if i == j {
                 continue;
             }
@@ -63,7 +64,7 @@ pub fn silhouette_score(data: &[Vec<f64>], result: &KMeansResult) -> f64 {
 ///
 /// Panics if `data` is empty or `max_k < 2`.
 pub fn best_by_silhouette(
-    data: &[Vec<f64>],
+    data: &PointMatrix,
     max_k: usize,
     seed: u64,
 ) -> (KMeansResult, f64) {
@@ -88,14 +89,14 @@ mod tests {
     use super::*;
     use crate::kmeans::{kmeans, KMeansConfig};
 
-    fn blobs() -> Vec<Vec<f64>> {
+    fn blobs() -> PointMatrix {
         let mut pts = Vec::new();
         for i in 0..12 {
             let j = (i as f64 * 0.9).sin() * 0.3;
             pts.push(vec![j, j * 0.5]);
             pts.push(vec![10.0 + j, 10.0 - j]);
         }
-        pts
+        PointMatrix::from_rows(pts)
     }
 
     #[test]
@@ -123,9 +124,11 @@ mod tests {
 
     #[test]
     fn score_is_bounded() {
-        let data: Vec<Vec<f64>> = (0..20)
-            .map(|i| vec![((i * 13) % 17) as f64, ((i * 7) % 11) as f64])
-            .collect();
+        let data = PointMatrix::from_rows(
+            (0..20)
+                .map(|i| vec![((i * 13) % 17) as f64, ((i * 7) % 11) as f64])
+                .collect(),
+        );
         for k in 2..6 {
             let r = kmeans(&data, &KMeansConfig::new(k).with_seed(2));
             let s = silhouette_score(&data, &r);
@@ -144,6 +147,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least k = 2")]
     fn best_by_silhouette_rejects_max_k_one() {
-        let _ = best_by_silhouette(&[vec![0.0], vec![1.0]], 1, 0);
+        let data = PointMatrix::from_rows(vec![vec![0.0], vec![1.0]]);
+        let _ = best_by_silhouette(&data, 1, 0);
     }
 }

@@ -1,6 +1,14 @@
 //! End-to-end drivers tying the whole toolchain together: functional
 //! characterization, full cycle-level simulation, MEGsim selection and
 //! accuracy evaluation — the §IV/§V experimental flow.
+//!
+//! Frames are embarrassingly parallel once each one gets its own GPU
+//! state, so the heavy passes ([`characterize_sequence`],
+//! [`simulate_sequence`], [`simulate_representatives`]) fan out across
+//! frames on the `megsim-exec` worker pool. Every frame's result
+//! depends only on its index, so outputs are bit-identical at any
+//! thread count. The old warm-cache sequential ground truth remains
+//! available as [`simulate_sequence_warm`].
 
 use megsim_funcsim::{RenderConfig, Renderer};
 use megsim_gfx::draw::Frame;
@@ -12,7 +20,8 @@ use crate::features::{feature_matrix, FeatureMatrix};
 use crate::pipeline::{select_representatives, MegsimConfig, Selection};
 
 /// Fast functional characterization pass (paper §III-B): renders every
-/// frame functionally and returns the `N × D` feature matrix.
+/// frame functionally (in parallel across frames) and returns the
+/// `N × D` feature matrix.
 pub fn characterize_sequence(
     frames: impl Iterator<Item = Frame>,
     shaders: &ShaderTable,
@@ -23,15 +32,44 @@ pub fn characterize_sequence(
         viewport: gpu_config.viewport,
         mode: gpu_config.render_mode,
     });
-    let activities: Vec<_> = frames
-        .map(|f| renderer.frame_activity(&f, shaders))
-        .collect();
+    let frames: Vec<Frame> = frames.collect();
+    let activities = megsim_exec::par_map_indexed(&frames, |_, f| {
+        renderer.frame_activity(f, shaders)
+    });
     feature_matrix(activities.iter(), shaders, &config.characterization)
 }
 
 /// Full cycle-level simulation of a sequence (the paper's ground truth),
 /// returning per-frame statistics.
+///
+/// Every frame is simulated on its own freshly reset GPU (cold caches),
+/// which makes frames independent and lets them fan out across the
+/// worker pool — and makes a frame's statistics identical whether it is
+/// simulated here or standalone via [`simulate_representatives`]. For
+/// the old warm-cache sequential semantics use
+/// [`simulate_sequence_warm`].
 pub fn simulate_sequence(
+    frames: impl Iterator<Item = Frame>,
+    shaders: &ShaderTable,
+    gpu_config: &GpuConfig,
+) -> Vec<FrameStats> {
+    let renderer = Renderer::new(RenderConfig {
+        viewport: gpu_config.viewport,
+        mode: gpu_config.render_mode,
+    });
+    let frames: Vec<Frame> = frames.collect();
+    megsim_exec::par_map_indexed(&frames, |_, f| {
+        let trace = renderer.render_frame(f, shaders);
+        let mut gpu = Gpu::new(gpu_config.clone());
+        gpu.simulate_frame(&trace, shaders)
+    })
+}
+
+/// Sequential cycle-level simulation with memory-hierarchy state warmed
+/// across frames — the pre-parallel ground-truth semantics, kept for
+/// cache-warm-up studies. Inherently order-dependent, so it never runs
+/// on the pool.
+pub fn simulate_sequence_warm(
     frames: impl Iterator<Item = Frame>,
     shaders: &ShaderTable,
     gpu_config: &GpuConfig,
@@ -49,11 +87,13 @@ pub fn simulate_sequence(
         .collect()
 }
 
-/// Simulates only the selected representative frames on a *fresh* GPU —
-/// what a real MEGsim deployment runs instead of the full sequence.
-/// Returns each representative's statistics, in selection order.
+/// Simulates only the selected representative frames, each on a *fresh*
+/// GPU — what a real MEGsim deployment runs instead of the full
+/// sequence. Representatives are independent, so they fan out on the
+/// worker pool. Returns each representative's statistics, in selection
+/// order.
 pub fn simulate_representatives(
-    mut frame_of: impl FnMut(usize) -> Frame,
+    frame_of: impl Fn(usize) -> Frame + Sync,
     selection: &Selection,
     shaders: &ShaderTable,
     gpu_config: &GpuConfig,
@@ -62,15 +102,11 @@ pub fn simulate_representatives(
         viewport: gpu_config.viewport,
         mode: gpu_config.render_mode,
     });
-    let mut gpu = Gpu::new(gpu_config.clone());
-    selection
-        .representatives
-        .iter()
-        .map(|rep| {
-            let trace = renderer.render_frame(&frame_of(rep.frame_index), shaders);
-            gpu.simulate_frame(&trace, shaders)
-        })
-        .collect()
+    megsim_exec::par_map_indexed(&selection.representatives, |_, rep| {
+        let trace = renderer.render_frame(&frame_of(rep.frame_index), shaders);
+        let mut gpu = Gpu::new(gpu_config.clone());
+        gpu.simulate_frame(&trace, shaders)
+    })
 }
 
 /// Result of one full MEGsim accuracy experiment on one workload.
@@ -180,12 +216,14 @@ mod tests {
             workload.shaders(),
             &gpu_config,
         );
-        // Standalone simulation of representatives sees colder caches;
-        // the resulting totals must still be within a few percent.
+        // Each frame now gets a fresh GPU in both the full run and the
+        // standalone representative run, so the two estimates agree
+        // exactly, not just approximately.
         let mut est = FrameStats::default();
         for (stats, rep) in rep_stats.iter().zip(&run.selection.representatives) {
             est.merge(&stats.scaled(rep.cluster_size as u64));
         }
+        assert_eq!(est, run.estimated);
         let errors = metric_errors(&est, &run.actual);
         assert!(errors.cycles < 0.10, "cycles error = {}", errors.cycles);
     }

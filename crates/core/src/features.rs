@@ -7,6 +7,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use megsim_cluster::PointMatrix;
 use megsim_funcsim::FrameActivity;
 use megsim_gfx::shader::ShaderTable;
 
@@ -28,10 +29,14 @@ impl Default for CharacterizationConfig {
 }
 
 /// The `N × D` dataset of paper §III-B: one row per frame.
+///
+/// Rows are stored contiguously (row-major) in a [`PointMatrix`] so the
+/// normalization and distance kernels downstream stream cache lines
+/// instead of chasing one heap allocation per frame.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FeatureMatrix {
-    /// Raw (un-normalized) rows, one per frame.
-    pub rows: Vec<Vec<f64>>,
+    /// Raw (un-normalized) rows, one per frame, in contiguous storage.
+    pub rows: PointMatrix,
     /// Number of vertex-shader columns (`p` in Fig. 2).
     pub vscv_len: usize,
     /// Number of fragment-shader columns (`q` in Fig. 2).
@@ -39,6 +44,23 @@ pub struct FeatureMatrix {
 }
 
 impl FeatureMatrix {
+    /// Packs nested per-frame rows into a contiguous matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a row's length is not `vscv_len + fscv_len + 1`.
+    pub fn from_rows(rows: Vec<Vec<f64>>, vscv_len: usize, fscv_len: usize) -> Self {
+        let mut data = PointMatrix::with_capacity(rows.len(), vscv_len + fscv_len + 1);
+        for row in &rows {
+            data.push_row(row);
+        }
+        Self {
+            rows: data,
+            vscv_len,
+            fscv_len,
+        }
+    }
+
     /// Number of frames `N`.
     pub fn frames(&self) -> usize {
         self.rows.len()
@@ -49,24 +71,29 @@ impl FeatureMatrix {
         self.vscv_len + self.fscv_len + 1
     }
 
+    /// The full row of a frame.
+    pub fn row(&self, frame: usize) -> &[f64] {
+        self.rows.row(frame)
+    }
+
     /// The VSCV slice of a row.
     pub fn vscv(&self, frame: usize) -> &[f64] {
-        &self.rows[frame][..self.vscv_len]
+        &self.rows.row(frame)[..self.vscv_len]
     }
 
     /// The FSCV slice of a row.
     pub fn fscv(&self, frame: usize) -> &[f64] {
-        &self.rows[frame][self.vscv_len..self.vscv_len + self.fscv_len]
+        &self.rows.row(frame)[self.vscv_len..self.vscv_len + self.fscv_len]
     }
 
     /// The PRIM element of a row.
     pub fn prim(&self, frame: usize) -> f64 {
-        self.rows[frame][self.vscv_len + self.fscv_len]
+        self.rows.row(frame)[self.vscv_len + self.fscv_len]
     }
 
     /// Column `c` as a vector (used by the Fig. 3 correlation study).
     pub fn column(&self, c: usize) -> Vec<f64> {
-        self.rows.iter().map(|r| r[c]).collect()
+        self.rows.iter_rows().map(|r| r[c]).collect()
     }
 }
 
@@ -130,11 +157,7 @@ pub fn feature_matrix<'a>(
         .into_iter()
         .map(|a| characterize_frame(a, shaders, config))
         .collect();
-    FeatureMatrix {
-        rows,
-        vscv_len: shaders.vertex_count(),
-        fscv_len: shaders.fragment_count(),
-    }
+    FeatureMatrix::from_rows(rows, shaders.vertex_count(), shaders.fragment_count())
 }
 
 #[cfg(test)]

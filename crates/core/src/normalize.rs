@@ -11,6 +11,8 @@
 
 use serde::{Deserialize, Serialize};
 
+use megsim_cluster::PointMatrix;
+
 use crate::features::FeatureMatrix;
 
 /// Per-phase weights of the three feature groups.
@@ -66,13 +68,13 @@ impl Default for GroupWeights {
 ///
 /// Groups with zero mass (e.g. a frame range that never emits
 /// primitives) contribute zero columns rather than NaNs.
-pub fn normalize(matrix: &FeatureMatrix, weights: &GroupWeights) -> Vec<Vec<f64>> {
+pub fn normalize(matrix: &FeatureMatrix, weights: &GroupWeights) -> PointMatrix {
     let p = matrix.vscv_len;
     let q = matrix.fscv_len;
     let d = matrix.dim();
     // Group masses.
     let mut mass = [0.0f64; 3];
-    for row in &matrix.rows {
+    for row in matrix.rows.iter_rows() {
         for (c, &v) in row.iter().enumerate() {
             let g = group_of(c, p, q);
             mass[g] += v;
@@ -83,17 +85,16 @@ pub fn normalize(matrix: &FeatureMatrix, weights: &GroupWeights) -> Vec<Vec<f64>
         if mass[1] > 0.0 { weights.raster / mass[1] } else { 0.0 },
         if mass[2] > 0.0 { weights.tiling / mass[2] } else { 0.0 },
     ];
-    matrix
+    // One linear pass over the flat buffer; the column index cycles
+    // modulo `d`.
+    let flat: Vec<f64> = matrix
         .rows
+        .as_slice()
         .iter()
-        .map(|row| {
-            let mut out = Vec::with_capacity(d);
-            for (c, &v) in row.iter().enumerate() {
-                out.push(v * scale[group_of(c, p, q)]);
-            }
-            out
-        })
-        .collect()
+        .enumerate()
+        .map(|(i, &v)| v * scale[group_of(i % d, p, q)])
+        .collect();
+    PointMatrix::from_flat(flat, d)
 }
 
 #[inline]
@@ -112,19 +113,19 @@ mod tests {
     use super::*;
 
     fn matrix() -> FeatureMatrix {
-        FeatureMatrix {
-            rows: vec![vec![1.0, 3.0, 10.0, 30.0, 5.0], vec![2.0, 2.0, 20.0, 20.0, 15.0]],
-            vscv_len: 2,
-            fscv_len: 2,
-        }
+        FeatureMatrix::from_rows(
+            vec![vec![1.0, 3.0, 10.0, 30.0, 5.0], vec![2.0, 2.0, 20.0, 20.0, 15.0]],
+            2,
+            2,
+        )
     }
 
     #[test]
     fn group_masses_equal_weights_after_normalization() {
         let norm = normalize(&matrix(), &GroupWeights::paper());
-        let vscv_mass: f64 = norm.iter().map(|r| r[0] + r[1]).sum();
-        let fscv_mass: f64 = norm.iter().map(|r| r[2] + r[3]).sum();
-        let prim_mass: f64 = norm.iter().map(|r| r[4]).sum();
+        let vscv_mass: f64 = norm.iter_rows().map(|r| r[0] + r[1]).sum();
+        let fscv_mass: f64 = norm.iter_rows().map(|r| r[2] + r[3]).sum();
+        let prim_mass: f64 = norm.iter_rows().map(|r| r[4]).sum();
         assert!((vscv_mass - 0.108).abs() < 1e-12);
         assert!((fscv_mass - 0.745).abs() < 1e-12);
         assert!((prim_mass - 0.147).abs() < 1e-12);
@@ -134,26 +135,22 @@ mod tests {
     fn relative_structure_within_group_is_preserved() {
         let norm = normalize(&matrix(), &GroupWeights::uniform());
         // Row 1's PRIM is 3× row 0's, before and after.
-        assert!((norm[1][4] / norm[0][4] - 3.0).abs() < 1e-12);
+        assert!((norm.row(1)[4] / norm.row(0)[4] - 3.0).abs() < 1e-12);
     }
 
     #[test]
     fn zero_weight_removes_a_group() {
         let norm = normalize(&matrix(), &GroupWeights::shader_only());
-        assert_eq!(norm[0][4], 0.0);
-        assert_eq!(norm[1][4], 0.0);
+        assert_eq!(norm.row(0)[4], 0.0);
+        assert_eq!(norm.row(1)[4], 0.0);
     }
 
     #[test]
     fn zero_mass_group_yields_zeros_not_nan() {
-        let m = FeatureMatrix {
-            rows: vec![vec![0.0, 0.0, 1.0], vec![0.0, 0.0, 2.0]],
-            vscv_len: 1,
-            fscv_len: 1,
-        };
+        let m = FeatureMatrix::from_rows(vec![vec![0.0, 0.0, 1.0], vec![0.0, 0.0, 2.0]], 1, 1);
         let norm = normalize(&m, &GroupWeights::paper());
-        assert!(norm.iter().flatten().all(|v| v.is_finite()));
-        assert_eq!(norm[0][0], 0.0);
+        assert!(norm.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(norm.row(0)[0], 0.0);
     }
 
     #[test]

@@ -112,11 +112,7 @@ mod tests {
                 rows.push(vec![0.0, 900.0 + jitter, 0.0, 4000.0 + jitter, 300.0]);
             }
         }
-        FeatureMatrix {
-            rows,
-            vscv_len: 2,
-            fscv_len: 2,
-        }
+        FeatureMatrix::from_rows(rows, 2, 2)
     }
 
     #[test]

@@ -51,14 +51,26 @@ pub fn max_error_at_confidence(
         "confidence must be in (0, 1]"
     );
     let actual: f64 = per_frame_metric.iter().sum();
+    // Draw every trial's sample sequentially from the single seeded RNG
+    // (the exact stream the sequential implementation produced), then
+    // score the trials on the worker pool — per-trial work depends only
+    // on the pre-drawn sample, so results are thread-count independent.
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut errors: Vec<f64> = (0..trials)
-        .map(|_| {
-            let s = sample_indices(per_frame_metric.len(), k, &mut rng);
-            let est = estimate_total(&s, per_frame_metric);
-            megsim_stats::relative_error(est, actual)
-        })
+    let samples: Vec<Vec<(usize, usize)>> = (0..trials)
+        .map(|_| sample_indices(per_frame_metric.len(), k, &mut rng))
         .collect();
+    // Scoring a trial is O(k); only fan out when the total work is
+    // large enough to amortize waking the pool.
+    const PAR_WORK: usize = 1 << 16;
+    let score = |s: &Vec<(usize, usize)>| {
+        let est = estimate_total(s, per_frame_metric);
+        megsim_stats::relative_error(est, actual)
+    };
+    let mut errors: Vec<f64> = if trials * k >= PAR_WORK {
+        megsim_exec::par_map_indexed(&samples, |_, s| score(s))
+    } else {
+        samples.iter().map(score).collect()
+    };
     errors.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
     let idx = ((errors.len() as f64 * confidence).ceil() as usize)
         .clamp(1, errors.len())
@@ -157,7 +169,7 @@ mod tests {
             .collect();
         let target = 0.05;
         let k = frames_needed_for_target(&metric, target, 200, 0.95, 3);
-        assert!(k >= 1 && k <= 300);
+        assert!((1..=300).contains(&k));
         let err = max_error_at_confidence(&metric, k, 200, 0.95, 3);
         assert!(err <= target, "err at k = {err}");
         if k > 1 {

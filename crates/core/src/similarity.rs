@@ -1,8 +1,15 @@
 //! The Similarity Matrix of paper §III-D (Fig. 5/6): an upper-triangular
 //! `N × N` matrix of Euclidean distances between frame characteristic
 //! vectors, with text/PGM renderers for visual inspection.
+//!
+//! Construction is the O(N²·D) hot spot of the characterization flow,
+//! so [`SimilarityMatrix::from_points`] reads frames out of a
+//! contiguous [`PointMatrix`] (one linear scan per row, no per-frame
+//! pointer chasing) and computes the upper-triangle rows on the
+//! `megsim-exec` worker pool. Each row depends only on its index, so
+//! the packed triangle is bit-identical at any thread count.
 
-use megsim_cluster::euclidean_distance;
+use megsim_cluster::{euclidean_distance, PointMatrix};
 
 /// Upper-triangular matrix of pairwise frame distances.
 #[derive(Debug, Clone, PartialEq)]
@@ -13,21 +20,38 @@ pub struct SimilarityMatrix {
 }
 
 impl SimilarityMatrix {
-    /// Builds the matrix from (normalized) frame vectors.
+    /// Builds the matrix from (normalized) frame vectors held in
+    /// contiguous storage, parallelizing across upper-triangle rows.
     ///
     /// # Panics
     ///
     /// Panics if `frames` is empty.
-    pub fn from_vectors(frames: &[Vec<f64>]) -> Self {
+    pub fn from_points(frames: &PointMatrix) -> Self {
         assert!(!frames.is_empty(), "similarity of zero frames is undefined");
         let n = frames.len();
+        // Row i owns the distances d(i, i..n). Rows shrink linearly with
+        // i; the pool's work-stealing counter balances that skew.
+        let rows = megsim_exec::par_map_range(n, |i| {
+            let a = frames.row(i);
+            (i..n)
+                .map(|j| euclidean_distance(a, frames.row(j)))
+                .collect::<Vec<f64>>()
+        });
         let mut data = Vec::with_capacity(n * (n + 1) / 2);
-        for i in 0..n {
-            for j in i..n {
-                data.push(euclidean_distance(&frames[i], &frames[j]));
-            }
+        for row in rows {
+            data.extend_from_slice(&row);
         }
         Self { n, data }
+    }
+
+    /// Builds the matrix from nested per-frame vectors (convenience
+    /// wrapper over [`SimilarityMatrix::from_points`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty or rows have inconsistent lengths.
+    pub fn from_vectors(frames: &[Vec<f64>]) -> Self {
+        Self::from_points(&PointMatrix::from_rows(frames.to_vec()))
     }
 
     /// Number of frames `N`.
@@ -175,5 +199,23 @@ mod tests {
     fn similar_frames_are_darker_than_dissimilar() {
         let m = SimilarityMatrix::from_vectors(&vectors());
         assert!(m.distance(0, 2) < m.distance(0, 3));
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let frames = PointMatrix::from_rows(
+            (0..120)
+                .map(|i| vec![(i as f64 * 0.37).sin(), (i as f64 * 0.11).cos(), i as f64])
+                .collect(),
+        );
+        let mut matrices = Vec::new();
+        for threads in [1usize, 2, 8] {
+            megsim_exec::set_threads(threads);
+            matrices.push(SimilarityMatrix::from_points(&frames));
+        }
+        megsim_exec::set_threads(0);
+        for pair in matrices.windows(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
     }
 }

@@ -1,0 +1,247 @@
+//! # megsim-exec
+//!
+//! Deterministic parallel execution layer for the MEGsim workspace.
+//!
+//! Every parallel stage in the reproduction — per-frame functional and
+//! cycle-level simulation, similarity-matrix row blocks, multi-seed
+//! k-means, random-sampling trials, the per-benchmark experiment
+//! fan-out — goes through this crate's ordered-collection primitives:
+//!
+//! * [`par_map_range`] — map `0..n` to a `Vec` of results **in index
+//!   order**, work-stealing across a scoped worker pool.
+//! * [`par_map_indexed`] — the same over a slice, passing `(index,
+//!   &item)`.
+//!
+//! ## Determinism
+//!
+//! Output is *bit-identical regardless of thread count* by
+//! construction: the closure for index `i` receives only `i` (plus
+//! shared read-only state captured by the caller), and results are
+//! collected into their input slots, so scheduling order can never
+//! leak into the output. Anything seeded must derive its stream from
+//! `i`, never from a shared mutable RNG — the same discipline the
+//! workloads crate already uses for per-frame seeds.
+//!
+//! ## Thread-count control
+//!
+//! Worker count resolves, in order: [`set_threads`] (e.g. from a
+//! `--threads N` flag), the `MEGSIM_THREADS` environment variable,
+//! then [`std::thread::available_parallelism`]. A value of `1` runs
+//! inline on the caller with zero pool overhead.
+//!
+//! Nested calls do not oversubscribe: a `par_map_range` issued from
+//! inside a pool worker runs sequentially on that worker, so an outer
+//! fan-out over benchmarks combined with an inner fan-out over frames
+//! still uses exactly the configured number of threads.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use crossbeam::thread::{available_parallelism, scope};
+use parking_lot::Mutex;
+
+/// Explicit override set by [`set_threads`]; 0 = unset.
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Cached environment/hardware default, resolved once.
+static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
+
+thread_local! {
+    /// Set while executing inside a pool worker; nested parallel calls
+    /// check it and degrade to sequential execution.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Overrides the worker-thread count for all subsequent parallel
+/// calls. `0` clears the override, returning to `MEGSIM_THREADS` /
+/// available parallelism.
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker-thread count parallel calls will currently use.
+pub fn thread_count() -> usize {
+    let explicit = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    *DEFAULT_THREADS.get_or_init(|| {
+        if let Ok(value) = std::env::var("MEGSIM_THREADS") {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+            eprintln!("warning: ignoring invalid MEGSIM_THREADS={value:?}");
+        }
+        available_parallelism().map(|n| n.get()).unwrap_or(1)
+    })
+}
+
+/// Whether the current thread is already a pool worker (nested
+/// parallel calls run sequentially).
+pub fn in_pool() -> bool {
+    IN_POOL.with(Cell::get)
+}
+
+/// Maps `0..n` through `f` on the worker pool, returning results in
+/// index order.
+///
+/// `f` must derive everything it needs from the index (plus shared
+/// read-only captures); see the crate docs for the determinism
+/// contract. Panics in `f` propagate to the caller after all workers
+/// have stopped.
+pub fn par_map_range<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let threads = thread_count().min(n);
+    if threads <= 1 || in_pool() {
+        return (0..n).map(f).collect();
+    }
+    // Work-stealing index counter: cheap dynamic load balancing that
+    // cannot affect the output, because results land in their slots.
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<U>>> = Mutex::new((0..n).map(|_| None).collect());
+    scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                IN_POOL.with(|flag| flag.set(true));
+                let mut local: Vec<(usize, U)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(i)));
+                }
+                // One lock per worker, at the end, to merge results.
+                let mut slots = slots.lock();
+                for (i, value) in local {
+                    slots[i] = Some(value);
+                }
+            });
+        }
+    });
+    slots
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every index produced"))
+        .collect()
+}
+
+/// Maps a slice through `f(index, &item)` on the worker pool,
+/// returning results in input order.
+pub fn par_map_indexed<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    par_map_range(items.len(), |i| f(i, &items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Serializes tests that touch the global override.
+    static OVERRIDE_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn results_are_in_index_order() {
+        let _guard = OVERRIDE_LOCK.lock();
+        set_threads(8);
+        let out = par_map_range(1000, |i| i * i);
+        set_threads(0);
+        assert_eq!(out.len(), 1000);
+        for (i, v) in out.iter().enumerate() {
+            assert_eq!(*v, i * i);
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let _guard = OVERRIDE_LOCK.lock();
+        let work = |i: usize| {
+            // Index-derived pseudo-random work, as the determinism
+            // contract requires.
+            let mut x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            for _ in 0..10 {
+                x ^= x >> 31;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            }
+            x
+        };
+        let mut outputs = Vec::new();
+        for threads in [1, 2, 3, 8] {
+            set_threads(threads);
+            outputs.push(par_map_range(257, work));
+        }
+        set_threads(0);
+        for pair in outputs.windows(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn every_index_runs_exactly_once() {
+        let _guard = OVERRIDE_LOCK.lock();
+        set_threads(4);
+        let calls = AtomicU64::new(0);
+        let out = par_map_range(333, |i| {
+            calls.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        set_threads(0);
+        assert_eq!(calls.load(Ordering::Relaxed), 333);
+        assert_eq!(out, (0..333).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_calls_do_not_explode() {
+        let _guard = OVERRIDE_LOCK.lock();
+        set_threads(4);
+        let out = par_map_range(6, |i| {
+            assert!(in_pool());
+            // Inner call runs sequentially on this worker.
+            par_map_range(5, move |j| i * 10 + j)
+        });
+        set_threads(0);
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(*inner, (0..5).map(|j| i * 10 + j).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_indexed_passes_items() {
+        let _guard = OVERRIDE_LOCK.lock();
+        set_threads(3);
+        let items: Vec<String> = (0..50).map(|i| format!("item{i}")).collect();
+        let out = par_map_indexed(&items, |i, s| format!("{i}:{s}"));
+        set_threads(0);
+        assert_eq!(out[49], "49:item49");
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let out: Vec<usize> = par_map_range(0, |i| i);
+        assert!(out.is_empty());
+        assert_eq!(par_map_range(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn env_override_is_ignored_when_explicit_set() {
+        let _guard = OVERRIDE_LOCK.lock();
+        set_threads(2);
+        assert_eq!(thread_count(), 2);
+        set_threads(0);
+        assert!(thread_count() >= 1);
+    }
+}

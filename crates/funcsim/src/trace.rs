@@ -49,12 +49,12 @@ pub struct QuadTrace {
 impl QuadTrace {
     /// Number of covered fragments.
     pub fn covered_count(self) -> u32 {
-        u32::from(self.coverage.count_ones())
+        self.coverage.count_ones()
     }
 
     /// Number of fragments that reach the Fragment Processors.
     pub fn visible_count(self) -> u32 {
-        u32::from(self.visible.count_ones())
+        self.visible.count_ones()
     }
 }
 

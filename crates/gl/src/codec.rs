@@ -198,6 +198,8 @@ pub fn decode(mut data: &[u8]) -> Result<CommandStream, DecodeError> {
                 for _ in 0..n_idx {
                     indices.push(data.get_u32_le());
                 }
+                // `% 3 != 0` rather than `is_multiple_of` (MSRV 1.75).
+                #[allow(clippy::manual_is_multiple_of)]
                 if n_idx % 3 != 0 || indices.iter().any(|&i| i as usize >= n_verts) {
                     return Err(DecodeError::BadValue("mesh indices"));
                 }

@@ -68,6 +68,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)] // documents the layout invariant
     fn regions_are_disjoint_and_ordered() {
         assert!(AddressSpace::VERTEX_BASE < AddressSpace::TEXTURE_BASE);
         assert!(AddressSpace::TEXTURE_BASE < AddressSpace::SCENE_BUFFER_BASE);

@@ -117,7 +117,7 @@ mod tests {
     fn multiple_correlation_single_predictor_equals_abs_pearson() {
         let x = vec![1.0, 2.0, 3.0, 4.0, 5.0];
         let y = vec![2.1, 3.9, 6.2, 8.0, 9.9];
-        let r = multiple_correlation(&[x.clone()], &y);
+        let r = multiple_correlation(std::slice::from_ref(&x), &y);
         assert!((r - pearson(&x, &y).abs()).abs() < 1e-9);
     }
 

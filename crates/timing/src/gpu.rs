@@ -560,7 +560,7 @@ mod tests {
 mod mode_tests {
     use super::*;
     use megsim_funcsim::{RenderConfig, Renderer};
-    use megsim_gfx::draw::{BlendMode, DrawCall, Frame, Viewport};
+    use megsim_gfx::draw::{BlendMode, DrawCall, Frame};
     use megsim_gfx::geometry::{Mesh, Vertex};
     use megsim_gfx::math::{Mat4, Vec3};
     use megsim_gfx::shader::{ShaderId, ShaderProgram};

@@ -376,6 +376,8 @@ fn build_timeline(
             timeline.push((0, len));
             remaining -= len;
         } else {
+            // `% k == 0` rather than `is_multiple_of` (MSRV 1.75).
+            #[allow(clippy::manual_is_multiple_of)]
             if cursor % k == 0 && rng.gen_bool(0.3) {
                 // Occasionally shuffle two phases (different lap lines,
                 // different waves) so the loop is not perfectly periodic.

@@ -26,7 +26,7 @@ fn main() {
     let normalized = normalize(&matrix, &config.weights);
 
     // Fig. 5: the similarity matrix, darker = more similar.
-    let sim = SimilarityMatrix::from_vectors(&normalized);
+    let sim = SimilarityMatrix::from_points(&normalized);
     println!("\nsimilarity matrix (darker = more similar):\n");
     print!("{}", sim.render_ascii(48));
 

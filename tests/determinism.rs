@@ -1,0 +1,116 @@
+//! End-to-end determinism of the parallel execution layer: the full
+//! MEGsim pipeline (functional characterization → normalization →
+//! similarity → k-means/BIC clustering → representative simulation →
+//! estimation) must produce **bit-identical** results at every
+//! worker-pool size. Parallelism is an execution detail, never an
+//! input to the methodology.
+
+use megsim_core::evaluate::{
+    characterize_sequence, evaluate_megsim, simulate_representatives, simulate_sequence,
+};
+use megsim_core::pipeline::MegsimConfig;
+use megsim_core::{normalize, SimilarityMatrix};
+use megsim_timing::{FrameStats, GpuConfig};
+use megsim_workloads::by_alias;
+
+/// Everything the pipeline produces, flattened for exact comparison.
+struct PipelineArtifacts {
+    features: Vec<f64>,
+    normalized: Vec<f64>,
+    distances: Vec<f64>,
+    per_frame: Vec<FrameStats>,
+    labels: Vec<usize>,
+    representatives: Vec<(usize, usize)>,
+    bic_scores: Vec<f64>,
+    rep_stats: Vec<FrameStats>,
+    estimated: FrameStats,
+}
+
+fn run_pipeline() -> PipelineArtifacts {
+    let workload = by_alias("pvz", 0.02, 42).expect("known alias"); // 100 frames
+    let gpu = GpuConfig::mali450_like();
+    let config = MegsimConfig::default();
+
+    let matrix = characterize_sequence(workload.iter_frames(), workload.shaders(), &gpu, &config);
+    let normalized = normalize(&matrix, &config.weights);
+    let sim = SimilarityMatrix::from_points(&normalized);
+    let n = sim.len();
+    let mut distances = Vec::with_capacity(n * n);
+    for i in 0..n {
+        for j in 0..n {
+            distances.push(sim.distance(i, j));
+        }
+    }
+
+    let per_frame = simulate_sequence(workload.iter_frames(), workload.shaders(), &gpu);
+    let run = evaluate_megsim(&matrix, &per_frame, &config);
+    let rep_stats =
+        simulate_representatives(|i| workload.frame(i), &run.selection, workload.shaders(), &gpu);
+
+    PipelineArtifacts {
+        features: matrix.rows.as_slice().to_vec(),
+        normalized: normalized.as_slice().to_vec(),
+        distances,
+        per_frame,
+        labels: run.selection.labels.clone(),
+        representatives: run
+            .selection
+            .representatives
+            .iter()
+            .map(|r| (r.frame_index, r.cluster_size))
+            .collect(),
+        bic_scores: run.selection.bic_scores.clone(),
+        rep_stats,
+        estimated: run.estimated,
+    }
+}
+
+#[test]
+fn pipeline_is_bit_identical_at_any_thread_count() {
+    let mut runs = Vec::new();
+    for threads in [1usize, 2, 8] {
+        megsim_exec::set_threads(threads);
+        runs.push((threads, run_pipeline()));
+    }
+    megsim_exec::set_threads(0);
+
+    let (_, baseline) = &runs[0];
+    for (threads, r) in &runs[1..] {
+        assert_eq!(
+            baseline.features, r.features,
+            "feature matrix differs at {threads} threads"
+        );
+        assert_eq!(
+            baseline.normalized, r.normalized,
+            "normalized matrix differs at {threads} threads"
+        );
+        assert_eq!(
+            baseline.distances, r.distances,
+            "similarity matrix differs at {threads} threads"
+        );
+        assert_eq!(
+            baseline.per_frame, r.per_frame,
+            "ground-truth frame stats differ at {threads} threads"
+        );
+        assert_eq!(
+            baseline.labels, r.labels,
+            "cluster labels differ at {threads} threads"
+        );
+        assert_eq!(
+            baseline.representatives, r.representatives,
+            "representatives differ at {threads} threads"
+        );
+        assert_eq!(
+            baseline.bic_scores, r.bic_scores,
+            "BIC curve differs at {threads} threads"
+        );
+        assert_eq!(
+            baseline.rep_stats, r.rep_stats,
+            "representative simulations differ at {threads} threads"
+        );
+        assert_eq!(
+            baseline.estimated, r.estimated,
+            "estimated totals differ at {threads} threads"
+        );
+    }
+}

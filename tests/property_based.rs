@@ -3,7 +3,7 @@
 
 use proptest::prelude::*;
 
-use megsim_cluster::{bic_score, euclidean_distance, kmeans, KMeansConfig};
+use megsim_cluster::{bic_score, euclidean_distance, kmeans, KMeansConfig, PointMatrix};
 use megsim_core::pipeline::{select_representatives, MegsimConfig};
 use megsim_core::{normalize, FeatureMatrix, GroupWeights, SimilarityMatrix};
 use megsim_mem::{Cache, CacheConfig, Dram, DramConfig};
@@ -84,6 +84,7 @@ proptest! {
 
     #[test]
     fn kmeans_labels_are_valid_and_partition(points in points_strategy(), k in 1usize..5) {
+        let points = PointMatrix::from_rows(points);
         let k = k.min(points.len());
         let result = kmeans(&points, &KMeansConfig::new(k).with_seed(3));
         prop_assert_eq!(result.labels.len(), points.len());
@@ -94,9 +95,10 @@ proptest! {
 
     #[test]
     fn kmeans_assigns_each_point_to_its_nearest_centroid(points in points_strategy()) {
+        let points = PointMatrix::from_rows(points);
         let k = 3.min(points.len());
         let result = kmeans(&points, &KMeansConfig::new(k).with_seed(9));
-        for (i, p) in points.iter().enumerate() {
+        for (i, p) in points.iter_rows().enumerate() {
             let own = euclidean_distance(p, &result.centroids[result.labels[i]]);
             for c in &result.centroids {
                 prop_assert!(own <= euclidean_distance(p, c) + 1e-9);
@@ -109,6 +111,7 @@ proptest! {
         // WCSS at k+1 with a good seed should not exceed WCSS at k by
         // more than numerical noise (k-means++ keeps it monotone-ish;
         // we assert a loose 10% bound to avoid flaky strictness).
+        let points = PointMatrix::from_rows(points);
         let k = 2.min(points.len());
         let a = kmeans(&points, &KMeansConfig::new(k).with_seed(5));
         let b = kmeans(&points, &KMeansConfig::new((k + 1).min(points.len())).with_seed(5));
@@ -117,6 +120,7 @@ proptest! {
 
     #[test]
     fn bic_is_finite_or_neg_infinity(points in points_strategy()) {
+        let points = PointMatrix::from_rows(points);
         let k = 2.min(points.len());
         let result = kmeans(&points, &KMeansConfig::new(k).with_seed(1));
         let score = bic_score(&points, &result);
@@ -157,11 +161,7 @@ fn matrix_strategy() -> impl Strategy<Value = FeatureMatrix> {
             prop::collection::vec(0.0f64..1e5, p + q + 1),
             n..=n,
         )
-        .prop_map(move |rows| FeatureMatrix {
-            rows,
-            vscv_len: p,
-            fscv_len: q,
-        })
+        .prop_map(move |rows| FeatureMatrix::from_rows(rows, p, q))
     })
 }
 
@@ -172,7 +172,8 @@ proptest! {
     fn normalization_preserves_shape_and_finiteness(m in matrix_strategy()) {
         let norm = normalize(&m, &GroupWeights::paper());
         prop_assert_eq!(norm.len(), m.frames());
-        for row in &norm {
+        prop_assert_eq!(norm.dim(), m.dim());
+        for row in norm.iter_rows() {
             prop_assert_eq!(row.len(), m.dim());
             prop_assert!(row.iter().all(|v| v.is_finite() && *v >= 0.0));
         }

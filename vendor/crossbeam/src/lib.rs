@@ -1,0 +1,22 @@
+//! Offline vendored stub of the `crossbeam` surface this workspace
+//! uses: scoped threads and a handful of re-exported atomics helpers.
+//!
+//! Since Rust 1.63 the standard library ships scoped threads natively,
+//! so the stub simply re-exports `std::thread::scope` under the
+//! `crossbeam::thread` path the workspace imports. Semantics match
+//! what `megsim-exec` needs: spawned threads may borrow from the
+//! enclosing stack frame and are all joined when the scope exits, with
+//! panics propagated to the caller.
+
+#![forbid(unsafe_code)]
+
+/// Scoped threads (std-backed).
+pub mod thread {
+    pub use std::thread::{available_parallelism, scope, Scope, ScopedJoinHandle};
+}
+
+/// Atomics re-exports, mirroring `crossbeam::atomic`'s role as the
+/// go-to import for lock-free counters.
+pub mod atomic {
+    pub use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+}

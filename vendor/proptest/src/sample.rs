@@ -1,0 +1,30 @@
+//! Sampling strategies over explicit value sets (`prop::sample`).
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Uniformly picks one of the given values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty.
+pub fn select<T: Clone>(values: Vec<T>) -> Select<T> {
+    assert!(!values.is_empty(), "cannot select from an empty set");
+    Select { values }
+}
+
+/// See [`select`].
+#[derive(Debug, Clone)]
+pub struct Select<T: Clone> {
+    values: Vec<T>,
+}
+
+impl<T: Clone> Strategy for Select<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.rng_mut().gen_range(0..self.values.len());
+        self.values[i].clone()
+    }
+}

@@ -1,0 +1,140 @@
+//! Case execution: config, RNG, and the runner behind `proptest!`.
+
+use rand::rngs::SmallRng;
+use rand::{RngCore, SeedableRng};
+
+use crate::strategy::Strategy;
+
+/// Per-test configuration (subset: case count).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; 64 keeps the (many) property suites
+        // fast while still exercising a meaningful sample.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's inputs violated a `prop_assume!` precondition; the
+    /// runner draws a replacement.
+    Reject,
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failed assertion with a message.
+    pub fn fail(message: String) -> Self {
+        TestCaseError::Fail(message)
+    }
+
+    /// A rejected (assumed-away) case.
+    pub fn reject() -> Self {
+        TestCaseError::Reject
+    }
+}
+
+/// The RNG handed to strategies.
+///
+/// Deterministic per (test name, case index): reruns reproduce the
+/// exact same inputs, and the panic message of a failing case names
+/// the seed for standalone debugging.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: SmallRng,
+}
+
+impl TestRng {
+    /// Creates a generator from an explicit seed.
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng { rng: SmallRng::seed_from_u64(seed) }
+    }
+
+    /// Raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+
+    /// The underlying `SmallRng`, for range sampling.
+    pub fn rng_mut(&mut self) -> &mut SmallRng {
+        &mut self.rng
+    }
+}
+
+/// Runs one property over many sampled cases.
+#[derive(Debug)]
+pub struct TestRunner {
+    config: ProptestConfig,
+    seed_base: u64,
+}
+
+impl TestRunner {
+    /// Creates a runner whose case seeds derive from `name` (normally
+    /// the test's module path + function name), so every test sees an
+    /// independent, stable input stream.
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the name: stable across runs and platforms.
+        let mut hash = 0xCBF2_9CE4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRunner { config, seed_base: hash }
+    }
+
+    /// Draws inputs from `strategy` and applies `test` until
+    /// `config.cases` cases pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the first failing case (no shrinking), or when
+    /// rejections exhaust the retry budget.
+    pub fn run<S, F>(&mut self, strategy: &S, test: F)
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> Result<(), TestCaseError>,
+    {
+        let budget = self.config.cases.saturating_mul(16).max(64);
+        let mut passed = 0u32;
+        for attempt in 0..budget {
+            if passed >= self.config.cases {
+                return;
+            }
+            let seed = self
+                .seed_base
+                .wrapping_add(u64::from(attempt).wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            let mut rng = TestRng::from_seed(seed);
+            let value = strategy.generate(&mut rng);
+            match test(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject) => {}
+                Err(TestCaseError::Fail(message)) => {
+                    panic!(
+                        "proptest case {} failed (seed {seed:#018x}): {message}",
+                        passed + 1
+                    );
+                }
+            }
+        }
+        panic!(
+            "proptest gave up after {budget} attempts: only {passed}/{} cases \
+             passed the prop_assume! preconditions",
+            self.config.cases
+        );
+    }
+}

@@ -1,0 +1,263 @@
+//! Offline vendored subset of the `rand` 0.8 API.
+//!
+//! The build container has no network access to crates.io, so this
+//! workspace vendors the exact slice of `rand` it uses as a path
+//! dependency. The algorithms are faithful reimplementations of the
+//! upstream ones so that seeded streams are stable and of the same
+//! statistical quality:
+//!
+//! * [`rngs::SmallRng`] — Xoshiro256++ (the 64-bit `SmallRng` of
+//!   rand 0.8), seeded via SplitMix64 in
+//!   [`SeedableRng::seed_from_u64`].
+//! * [`Rng::gen_range`] — Lemire widening-multiply rejection sampling
+//!   for integers, the `[1, 2)` mantissa trick for floats.
+//! * [`Rng::gen_bool`] — 64-bit fixed-point Bernoulli.
+//!
+//! Only the surface this workspace calls is provided; it is not a
+//! general-purpose replacement.
+
+#![forbid(unsafe_code)]
+
+pub mod rngs;
+
+use core::ops::Range;
+
+/// The core of a random number generator: raw word output.
+pub trait RngCore {
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+/// A random number generator that can be explicitly seeded.
+pub trait SeedableRng: Sized {
+    /// Seed type, typically a byte array.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Creates a generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` seed, expanded with SplitMix64
+    /// exactly as rand 0.8 does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64: guarantees distinct, well-mixed stream words
+            // even for adjacent integer seeds.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Convenience sampling methods over any [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= p <= 1.0`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "p={p} outside [0, 1]");
+        if p == 1.0 {
+            return true;
+        }
+        // Fixed-point threshold with 64 fractional bits.
+        const SCALE: f64 = 2.0 * (1u64 << 63) as f64;
+        let p_int = (p * SCALE) as u64;
+        self.next_u64() < p_int
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A range that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types uniformly sampleable from a half-open range.
+///
+/// The single blanket `SampleRange` impl below ties the range's item
+/// type to the sampled type the same way upstream rand does, which is
+/// what lets integer-literal ranges (`rng.gen_range(0..4)`) infer
+/// their type from the surrounding expression.
+pub trait SampleUniform: Sized {
+    /// Draws a sample from `[low, high)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        T::sample_range(self.start, self.end, rng)
+    }
+}
+
+macro_rules! uniform_int_impl {
+    ($($ty:ty => $uty:ty, $wide:ty, $method:ident);+ $(;)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let range = high.wrapping_sub(low) as $uty;
+                // Lemire's method: multiply a full-width word by the
+                // range and keep the high half; reject the low half
+                // when it falls in the biased zone.
+                let zone = (range << range.leading_zeros()).wrapping_sub(1);
+                loop {
+                    let v = rng.$method() as $uty;
+                    let m = (v as $wide).wrapping_mul(range as $wide);
+                    let lo = m as $uty;
+                    if lo <= zone {
+                        let hi = (m >> <$uty>::BITS) as $uty;
+                        return low.wrapping_add(hi as $ty);
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+uniform_int_impl! {
+    u8    => u8,  u16,  next_u32;
+    u16   => u16, u32,  next_u32;
+    u32   => u32, u64,  next_u32;
+    u64   => u64, u128, next_u64;
+    usize => u64, u128, next_u64;
+    i8    => u8,  u16,  next_u32;
+    i16   => u16, u32,  next_u32;
+    i32   => u32, u64,  next_u32;
+    i64   => u64, u128, next_u64;
+    isize => u64, u128, next_u64;
+}
+
+macro_rules! uniform_float_impl {
+    ($($ty:ty => $bits_to_discard:expr, $exponent_bits:expr, $method:ident);+ $(;)?) => {$(
+        impl SampleUniform for $ty {
+            fn sample_range<R: RngCore + ?Sized>(low: Self, high: Self, rng: &mut R) -> Self {
+                assert!(low < high, "cannot sample empty range");
+                let scale = high - low;
+                loop {
+                    // Mantissa bits with a fixed exponent give a
+                    // uniform value in [1, 2); rescale into the range.
+                    let frac = rng.$method() >> $bits_to_discard;
+                    let value1_2 = <$ty>::from_bits(frac | $exponent_bits);
+                    let res = value1_2 * scale + (low - scale);
+                    if res < high {
+                        return res;
+                    }
+                }
+            }
+        }
+    )+};
+}
+
+uniform_float_impl! {
+    f32 => 9u32, 127u32 << 23, next_u32;
+    f64 => 12u64, 1023u64 << 52, next_u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::*;
+
+    #[test]
+    fn seeded_streams_are_reproducible() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        let mut a = SmallRng::seed_from_u64(1);
+        let mut b = SmallRng::seed_from_u64(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn int_ranges_stay_in_bounds_and_cover() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let v = rng.gen_range(3usize..10);
+            assert!((3..10).contains(&v));
+            seen[v - 3] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 7 values hit in 1000 draws");
+        for _ in 0..1000 {
+            let v = rng.gen_range(-5i32..5);
+            assert!((-5..5).contains(&v));
+        }
+    }
+
+    #[test]
+    fn float_ranges_stay_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut sum = 0.0;
+        for _ in 0..4000 {
+            let v = rng.gen_range(-0.85f32..0.85);
+            assert!((-0.85..0.85).contains(&v));
+            let w = rng.gen_range(2.0f64..3.0);
+            assert!((2.0..3.0).contains(&w));
+            sum += w;
+        }
+        let mean = sum / 4000.0;
+        assert!((mean - 2.5).abs() < 0.05, "mean {mean} far from 2.5");
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut rng = SmallRng::seed_from_u64(11);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        assert!((2700..3300).contains(&hits), "{hits} hits for p=0.3");
+        assert!(rng.gen_bool(1.0));
+        assert!(!rng.gen_bool(0.0));
+    }
+
+    #[test]
+    fn fill_bytes_fills_odd_lengths() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let mut buf = [0u8; 13];
+        rng.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}

@@ -1,0 +1,59 @@
+//! Concrete generators.
+
+use crate::{RngCore, SeedableRng};
+
+/// The 64-bit `SmallRng` of rand 0.8: Xoshiro256++.
+///
+/// Fast, small-state, non-cryptographic; exactly the generator the
+/// upstream crate selects on 64-bit platforms, so seeded behaviour is
+/// portable across this vendored copy and the real crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+impl RngCore for SmallRng {
+    fn next_u32(&mut self) -> u32 {
+        // Upstream derives 32-bit output from the high half of the
+        // 64-bit word.
+        (self.next_u64() >> 32) as u32
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for SmallRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (word, chunk) in s.iter_mut().zip(seed.chunks_exact(8)) {
+            *word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+        }
+        // An all-zero state would be a fixed point; upstream avoids it
+        // the same way SplitMix64 seeding does (never produces zeros),
+        // but guard against a pathological from_seed call.
+        if s.iter().all(|&w| w == 0) {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0x2545_F491_4F6C_DD1D,
+            ];
+        }
+        SmallRng { s }
+    }
+}

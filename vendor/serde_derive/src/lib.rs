@@ -1,0 +1,21 @@
+//! No-op derive macros backing the offline `serde` stub.
+//!
+//! Emitting an empty token stream is valid for a derive macro; the
+//! stub `Serialize`/`Deserialize` traits are never bounded on, so no
+//! impls are required — the derives only need to parse.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and
+/// expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (and `#[serde(...)]` attributes)
+/// and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
