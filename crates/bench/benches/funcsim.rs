@@ -4,7 +4,10 @@
 //! a thread sweep (the cost MEGsim pays on *every* frame, so its
 //! throughput bounds the end-to-end speedup).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
+use megsim_funcsim::raster_reference::render_frame_reference;
 use megsim_funcsim::{RenderConfig, RenderMode, Renderer};
 use megsim_gfx::draw::Viewport;
 use megsim_workloads::by_alias;
@@ -71,4 +74,79 @@ criterion_group! {
     config = Criterion::default().sample_size(20);
     targets = bench_render_modes, bench_sequence_characterization
 }
-criterion_main!(benches);
+
+/// Best-of-three wall-clock seconds for `f` (after one warm-up pass).
+fn secs(mut f: impl FnMut()) -> f64 {
+    f();
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// Measures single-thread frames/sec of the retained scalar reference
+/// rasterizer vs the optimized incremental path (activity-only, the
+/// characterization hot loop) over a small bundled-workload suite, and
+/// merges the numbers into `BENCH_2.json` at the repo root.
+fn write_bench_summary() {
+    let suite: Vec<_> = ["bbr1", "jjo", "pvz"]
+        .iter()
+        .map(|alias| by_alias(alias, 0.02, 7).expect("known alias"))
+        .collect();
+    let frame_count: usize = suite.iter().map(megsim_workloads::Workload::frames).sum();
+    let mut entries: Vec<(String, f64)> = Vec::new();
+    let mut total_reference = 0.0;
+    let mut total_optimized = 0.0;
+    for (name, mode) in [
+        ("tbr", RenderMode::TileBased),
+        ("tbdr", RenderMode::TileBasedDeferred),
+        ("imr", RenderMode::Immediate),
+    ] {
+        let config = RenderConfig {
+            viewport: Viewport::MALI450_BASELINE,
+            mode,
+        };
+        let renderer = Renderer::new(config);
+        let reference = secs(|| {
+            for w in &suite {
+                for f in w.iter_frames() {
+                    black_box(render_frame_reference(config, &f, w.shaders(), false).activity);
+                }
+            }
+        });
+        let optimized = secs(|| {
+            for w in &suite {
+                for f in w.iter_frames() {
+                    black_box(renderer.frame_activity(&f, w.shaders()));
+                }
+            }
+        });
+        total_reference += reference;
+        total_optimized += optimized;
+        let n = frame_count as f64;
+        println!(
+            "funcsim {name}: reference {:.1} frames/s, optimized {:.1} frames/s ({:.2}x)",
+            n / reference,
+            n / optimized,
+            reference / optimized
+        );
+        entries.push((format!("funcsim_{name}_reference_frames_per_sec"), n / reference));
+        entries.push((format!("funcsim_{name}_optimized_frames_per_sec"), n / optimized));
+        entries.push((format!("funcsim_{name}_speedup"), reference / optimized));
+    }
+    let overall = total_reference / total_optimized;
+    println!("funcsim overall single-thread speedup: {overall:.2}x");
+    entries.push(("funcsim_overall_speedup".to_string(), overall));
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_2.json");
+    if let Err(e) = megsim_bench::report::merge_bench_json(&path, &entries) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}
+
+fn main() {
+    benches();
+    write_bench_summary();
+}

@@ -7,8 +7,11 @@
 //! (`--threads 1/2/N` equivalent) to measure how the deterministic
 //! execution layer scales; results are bit-identical at every size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Instant;
+
+use criterion::{black_box, criterion_group, BenchmarkId, Criterion};
 use megsim_core::evaluate::{characterize_sequence, simulate_representatives, simulate_sequence};
+use megsim_core::frame_cache;
 use megsim_core::pipeline::{select_representatives, MegsimConfig};
 use megsim_timing::GpuConfig;
 use megsim_workloads::by_alias;
@@ -77,4 +80,54 @@ criterion_group! {
     config = Criterion::default().sample_size(10);
     targets = bench_end_to_end
 }
-criterion_main!(benches);
+
+/// Times the single-thread MEGsim flow twice — cold cache, then warm —
+/// and merges end-to-end frames/sec plus the frame-cache hit rate into
+/// `BENCH_2.json` at the repo root.
+fn write_bench_summary() {
+    megsim_exec::set_threads(1);
+    let workload = by_alias("pvz", 0.02, 7).expect("known alias");
+    let gpu = GpuConfig::mali450_like();
+    let config = MegsimConfig::default();
+    let flow = || {
+        let matrix =
+            characterize_sequence(workload.iter_frames(), workload.shaders(), &gpu, &config);
+        let selection = select_representatives(&matrix, &config);
+        simulate_representatives(|i| workload.frame(i), &selection, workload.shaders(), &gpu)
+    };
+    frame_cache::set_enabled(true);
+    frame_cache::clear();
+    let start = Instant::now();
+    black_box(flow());
+    let cold = start.elapsed().as_secs_f64();
+    let start = Instant::now();
+    black_box(flow());
+    let warm = start.elapsed().as_secs_f64();
+    let report = frame_cache::report();
+    println!("{}", report.summary());
+    println!(
+        "megsim flow (pvz, {} frames, 1 thread): cold {cold:.3} s, warm {warm:.3} s",
+        workload.frames()
+    );
+    let n = workload.frames() as f64;
+    let entries = vec![
+        ("end_to_end_cold_frames_per_sec".to_string(), n / cold),
+        ("end_to_end_warm_frames_per_sec".to_string(), n / warm),
+        ("frame_cache_hit_rate".to_string(), report.hit_rate()),
+    ];
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_2.json");
+    if let Err(e) = megsim_bench::report::merge_bench_json(&path, &entries) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+    megsim_exec::set_threads(0);
+}
+
+fn main() {
+    // The criterion groups compare full simulation against the MEGsim
+    // flow; run them with the frame cache off so repeated `iter` calls
+    // keep measuring simulation rather than cache lookups.
+    frame_cache::set_enabled(false);
+    benches();
+    frame_cache::set_enabled(true);
+    write_bench_summary();
+}

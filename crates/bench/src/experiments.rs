@@ -2,7 +2,9 @@
 //! evaluation, all driven by a shared per-benchmark dataset so the
 //! expensive simulations run once.
 
-use megsim_core::evaluate::{characterize_sequence, evaluate_megsim, simulate_sequence, MegsimRun};
+use megsim_core::evaluate::{
+    characterize_sequence, evaluate_megsim, simulate_representatives, simulate_sequence, MegsimRun,
+};
 use megsim_core::pipeline::MegsimConfig;
 use megsim_core::random_sampling;
 use megsim_core::{sequence_totals, FeatureMatrix, GroupWeights, SimilarityMatrix};
@@ -399,6 +401,40 @@ pub fn fig6(d: &BenchmarkData, config: &MegsimConfig) -> String {
 /// out across the (up to 8) benchmarks on the worker pool.
 pub fn run_all_megsim(data: &[BenchmarkData], config: &MegsimConfig) -> Vec<MegsimRun> {
     megsim_exec::par_map_indexed(data, |_, d| evaluate_megsim(&d.matrix, &d.per_frame, config))
+}
+
+/// Re-simulates every run's representatives standalone — the pass a
+/// real MEGsim deployment executes instead of the full sequence. With
+/// the content-addressed frame cache enabled these re-simulations hit
+/// the statistics already computed during the ground-truth pass, so
+/// the cost is near zero; the per-run estimates must match
+/// [`MegsimRun::estimated`] exactly either way. Returns the number of
+/// representative frames simulated.
+pub fn resimulate_representatives(
+    data: &[BenchmarkData],
+    runs: &[MegsimRun],
+    gpu: &GpuConfig,
+) -> usize {
+    let mut total = 0;
+    for (d, run) in data.iter().zip(runs) {
+        let rep_stats = simulate_representatives(
+            |i| d.workload.frame(i),
+            &run.selection,
+            d.workload.shaders(),
+            gpu,
+        );
+        let mut estimated = FrameStats::default();
+        for (stats, rep) in rep_stats.iter().zip(&run.selection.representatives) {
+            estimated.merge(&stats.scaled(rep.cluster_size as u64));
+        }
+        assert_eq!(
+            estimated, run.estimated,
+            "[{}] standalone representative re-simulation diverged",
+            d.info.alias
+        );
+        total += rep_stats.len();
+    }
+    total
 }
 
 /// Renders Table III from precomputed runs.

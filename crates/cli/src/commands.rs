@@ -35,13 +35,17 @@ commands:
 
 global options:
   --threads N  worker threads for the parallel stages (0 = MEGSIM_THREADS
-               env or all cores); results are identical at any count";
+               env or all cores); results are identical at any count
+  --no-frame-cache
+               disable the content-addressed frame-result cache (results
+               are identical either way; only wall-clock time changes)";
 
 /// Dispatches a full argv (including program name).
 pub fn run(argv: &[String]) -> Result<(), String> {
     let mut opts = Options::parse(argv)?;
     let threads: usize = opts.flag("threads", 0)?;
     megsim_exec::set_threads(threads);
+    megsim_core::frame_cache::set_enabled(!opts.has("no-frame-cache"));
     match opts.command.as_str() {
         "record" => record(&mut opts),
         "info" => info(&mut opts),
@@ -78,7 +82,7 @@ impl Options {
         while i < rest.len() {
             let a = rest[i];
             if let Some(name) = a.strip_prefix("--") {
-                if name == "ground-truth" {
+                if name == "ground-truth" || name == "no-frame-cache" {
                     bools.push(name.to_string());
                     i += 1;
                 } else {
@@ -142,12 +146,17 @@ fn characterize_frames(
     frames: &[Frame],
     gpu: &GpuConfig,
 ) -> FeatureMatrix {
-    let renderer = Renderer::new(RenderConfig {
+    let render_config = RenderConfig {
         viewport: gpu.viewport,
         mode: gpu.render_mode,
+    };
+    let renderer = Renderer::new(render_config);
+    let config_fp = megsim_core::frame_cache::activity_config_fingerprint(&render_config, shaders);
+    let activities = megsim_exec::par_map_indexed(frames, |_, f| {
+        megsim_core::frame_cache::activity_or_else(config_fp, f, || {
+            renderer.frame_activity(f, shaders)
+        })
     });
-    let activities =
-        megsim_exec::par_map_indexed(frames, |_, f| renderer.frame_activity(f, shaders));
     feature_matrix(activities.iter(), shaders, &Default::default())
 }
 
@@ -297,6 +306,9 @@ fn estimate(opts: &mut Options) -> Result<(), String> {
             "  tile-cache accesses: {:.3}%",
             run.errors.tile_cache_accesses * 100.0
         );
+    }
+    if megsim_core::frame_cache::is_enabled() {
+        eprintln!("{}", megsim_core::frame_cache::report().summary());
     }
     Ok(())
 }

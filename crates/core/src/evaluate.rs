@@ -9,6 +9,13 @@
 //! depends only on its index, so outputs are bit-identical at any
 //! thread count. The old warm-cache sequential ground truth remains
 //! available as [`simulate_sequence_warm`].
+//!
+//! The same independence makes per-frame results memoizable: the
+//! parallel passes consult the content-addressed [`crate::frame_cache`]
+//! so a frame that reappears — across random-sampling trials, repeated
+//! sweeps, or representative re-simulation — is simulated once.
+//! `simulate_sequence_warm` never uses the cache (its results depend on
+//! simulation order, not just frame content).
 
 use megsim_funcsim::{RenderConfig, Renderer};
 use megsim_gfx::draw::Frame;
@@ -17,6 +24,7 @@ use megsim_timing::{FrameStats, Gpu, GpuConfig};
 
 use crate::estimate::{estimate_totals, metric_errors, sequence_totals, MetricErrors};
 use crate::features::{feature_matrix, FeatureMatrix};
+use crate::frame_cache;
 use crate::pipeline::{select_representatives, MegsimConfig, Selection};
 
 /// Fast functional characterization pass (paper §III-B): renders every
@@ -28,13 +36,15 @@ pub fn characterize_sequence(
     gpu_config: &GpuConfig,
     config: &MegsimConfig,
 ) -> FeatureMatrix {
-    let renderer = Renderer::new(RenderConfig {
+    let render_config = RenderConfig {
         viewport: gpu_config.viewport,
         mode: gpu_config.render_mode,
-    });
+    };
+    let renderer = Renderer::new(render_config);
+    let config_fp = frame_cache::activity_config_fingerprint(&render_config, shaders);
     let frames: Vec<Frame> = frames.collect();
     let activities = megsim_exec::par_map_indexed(&frames, |_, f| {
-        renderer.frame_activity(f, shaders)
+        frame_cache::activity_or_else(config_fp, f, || renderer.frame_activity(f, shaders))
     });
     feature_matrix(activities.iter(), shaders, &config.characterization)
 }
@@ -57,11 +67,14 @@ pub fn simulate_sequence(
         viewport: gpu_config.viewport,
         mode: gpu_config.render_mode,
     });
+    let config_fp = frame_cache::stats_config_fingerprint(gpu_config, shaders);
     let frames: Vec<Frame> = frames.collect();
     megsim_exec::par_map_indexed(&frames, |_, f| {
-        let trace = renderer.render_frame(f, shaders);
-        let mut gpu = Gpu::new(gpu_config.clone());
-        gpu.simulate_frame(&trace, shaders)
+        frame_cache::stats_or_else(config_fp, f, || {
+            let trace = renderer.render_frame(f, shaders);
+            let mut gpu = Gpu::new(gpu_config.clone());
+            gpu.simulate_frame(&trace, shaders)
+        })
     })
 }
 
@@ -102,10 +115,14 @@ pub fn simulate_representatives(
         viewport: gpu_config.viewport,
         mode: gpu_config.render_mode,
     });
+    let config_fp = frame_cache::stats_config_fingerprint(gpu_config, shaders);
     megsim_exec::par_map_indexed(&selection.representatives, |_, rep| {
-        let trace = renderer.render_frame(&frame_of(rep.frame_index), shaders);
-        let mut gpu = Gpu::new(gpu_config.clone());
-        gpu.simulate_frame(&trace, shaders)
+        let frame = frame_of(rep.frame_index);
+        frame_cache::stats_or_else(config_fp, &frame, || {
+            let trace = renderer.render_frame(&frame, shaders);
+            let mut gpu = Gpu::new(gpu_config.clone());
+            gpu.simulate_frame(&trace, shaders)
+        })
     })
 }
 

@@ -1,0 +1,406 @@
+//! Content-addressed memoization of per-frame simulation results.
+//!
+//! The experiment sweeps (random-sampling trials, per-seed/per-mode
+//! grids, representative re-simulation) render and time the *same*
+//! frames many times over. Because PR 1 made per-frame simulation
+//! independent — every frame is rendered from scratch and timed on a
+//! freshly reset GPU — a frame's [`FrameActivity`] is a pure function
+//! of `(frame content, render config, shader table)` and its
+//! [`FrameStats`] a pure function of `(frame content, GPU config,
+//! shader table)`. That purity is exactly what makes memoization sound:
+//! this module hashes the full frame content (meshes, transforms,
+//! shader bindings, textures, blend/depth state) together with the
+//! config into a 128-bit key, and caches results process-wide in
+//! [`megsim_exec::ConcurrentCache`] instances.
+//!
+//! The caches are transparent by construction — a hit returns a value
+//! that recomputation would reproduce bit for bit, so enabling or
+//! disabling the cache (or racing inserts, or dropping entries at
+//! capacity) can never change pipeline output, only wall-clock time.
+//! [`set_enabled`] (the CLI's `--no-frame-cache`) exists for
+//! benchmarking and for double-checking that property, which
+//! `tests/frame_cache.rs` does on every run.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+use megsim_exec::ConcurrentCache;
+use megsim_funcsim::{FrameActivity, RenderConfig};
+use megsim_gfx::draw::{BlendMode, DrawCall, Frame};
+use megsim_gfx::geometry::Mesh;
+use megsim_gfx::shader::ShaderTable;
+use megsim_timing::{FrameStats, GpuConfig};
+
+/// Entries per cache (activity and stats each); beyond this, inserts
+/// are dropped and the pipeline just recomputes.
+const CACHE_CAPACITY: usize = 1 << 14;
+
+static ENABLED: AtomicBool = AtomicBool::new(true);
+static ACTIVITY: OnceLock<ConcurrentCache<FrameActivity>> = OnceLock::new();
+static STATS: OnceLock<ConcurrentCache<FrameStats>> = OnceLock::new();
+
+fn activity_cache() -> &'static ConcurrentCache<FrameActivity> {
+    ACTIVITY.get_or_init(|| ConcurrentCache::new(CACHE_CAPACITY))
+}
+
+fn stats_cache() -> &'static ConcurrentCache<FrameStats> {
+    STATS.get_or_init(|| ConcurrentCache::new(CACHE_CAPACITY))
+}
+
+/// Globally enables or disables both frame caches (they default to
+/// enabled). Disabling does not drop existing entries; re-enabling
+/// resumes hitting them.
+pub fn set_enabled(enabled: bool) {
+    ENABLED.store(enabled, Ordering::Relaxed);
+}
+
+/// Whether the frame caches are currently consulted.
+pub fn is_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Drops every cached entry and zeroes the hit/miss counters.
+pub fn clear() {
+    activity_cache().clear();
+    stats_cache().clear();
+}
+
+/// A snapshot of both caches' statistics, for experiment reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FrameCacheReport {
+    /// Characterization-pass lookups that hit.
+    pub activity_hits: u64,
+    /// Characterization-pass lookups that missed.
+    pub activity_misses: u64,
+    /// Entries in the activity cache.
+    pub activity_entries: usize,
+    /// Timing-pass lookups that hit.
+    pub stats_hits: u64,
+    /// Timing-pass lookups that missed.
+    pub stats_misses: u64,
+    /// Entries in the stats cache.
+    pub stats_entries: usize,
+}
+
+impl FrameCacheReport {
+    /// Overall hit rate across both caches, in `[0, 1]` (0 when no
+    /// lookups happened).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.activity_hits + self.stats_hits;
+        let total = hits + self.activity_misses + self.stats_misses;
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// One-line human-readable summary for experiment logs.
+    pub fn summary(&self) -> String {
+        format!(
+            "frame cache: activity {}/{} hits, stats {}/{} hits ({:.1}% overall, {} entries)",
+            self.activity_hits,
+            self.activity_hits + self.activity_misses,
+            self.stats_hits,
+            self.stats_hits + self.stats_misses,
+            self.hit_rate() * 100.0,
+            self.activity_entries + self.stats_entries,
+        )
+    }
+}
+
+/// Current statistics of both caches.
+pub fn report() -> FrameCacheReport {
+    let a = activity_cache();
+    let s = stats_cache();
+    FrameCacheReport {
+        activity_hits: a.hits(),
+        activity_misses: a.misses(),
+        activity_entries: a.len(),
+        stats_hits: s.hits(),
+        stats_misses: s.misses(),
+        stats_entries: s.len(),
+    }
+}
+
+/// A 128-bit streaming content fingerprint: two 64-bit lanes fed with
+/// every word, each mixed splitmix64-style. Not cryptographic — it only
+/// needs to make accidental collisions among a few thousand frames
+/// astronomically unlikely (≈ 2⁻⁹⁷ for 10⁴ distinct frames).
+#[derive(Debug, Clone, Copy)]
+pub struct Fingerprint {
+    h0: u64,
+    h1: u64,
+}
+
+impl Fingerprint {
+    /// A fresh fingerprint with fixed, distinct lane seeds.
+    pub fn new() -> Self {
+        Self {
+            h0: 0xcbf2_9ce4_8422_2325,
+            h1: 0x9e37_79b9_7f4a_7c15,
+        }
+    }
+
+    #[inline]
+    fn mix(h: u64, v: u64) -> u64 {
+        let mut x = (h ^ v).wrapping_mul(0x2545_f491_4f6c_dd1d);
+        x ^= x >> 29;
+        x = x.wrapping_mul(0xd6e8_feb8_6659_fd93);
+        x ^= x >> 32;
+        x
+    }
+
+    /// Feeds one 64-bit word.
+    #[inline]
+    pub fn write_u64(&mut self, v: u64) {
+        self.h0 = Self::mix(self.h0, v);
+        self.h1 = Self::mix(self.h1, v ^ 0xa5a5_a5a5_a5a5_a5a5);
+    }
+
+    /// Feeds one 32-bit word.
+    #[inline]
+    pub fn write_u32(&mut self, v: u32) {
+        self.write_u64(u64::from(v));
+    }
+
+    /// Feeds an `f32` by bit pattern (so `-0.0` and `0.0` differ —
+    /// exactness matters more than float semantics here).
+    #[inline]
+    pub fn write_f32(&mut self, v: f32) {
+        self.write_u32(v.to_bits());
+    }
+
+    /// Feeds a byte slice (word-at-a-time, length-prefixed).
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        self.write_u64(bytes.len() as u64);
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    /// The 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        (u128::from(self.h0) << 64) | u128::from(self.h1)
+    }
+}
+
+impl Default for Fingerprint {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn mesh_fingerprint(mesh: &Mesh) -> u128 {
+    let mut fp = Fingerprint::new();
+    fp.write_u64(mesh.vertices.len() as u64);
+    for v in &mesh.vertices {
+        fp.write_f32(v.position.x);
+        fp.write_f32(v.position.y);
+        fp.write_f32(v.position.z);
+        fp.write_f32(v.normal.x);
+        fp.write_f32(v.normal.y);
+        fp.write_f32(v.normal.z);
+        fp.write_f32(v.uv.x);
+        fp.write_f32(v.uv.y);
+    }
+    fp.write_u64(mesh.indices.len() as u64);
+    for &i in &mesh.indices {
+        fp.write_u32(i);
+    }
+    fp.write_u64(mesh.base_address);
+    fp.finish()
+}
+
+fn write_draw(fp: &mut Fingerprint, draw: &DrawCall, meshes: &mut HashMap<*const Mesh, u128>) {
+    // Meshes are shared via `Arc` across draws (and frames), so hash
+    // each distinct mesh once per frame and feed the digest.
+    let key = std::sync::Arc::as_ptr(&draw.mesh);
+    let mesh_fp = *meshes
+        .entry(key)
+        .or_insert_with(|| mesh_fingerprint(&draw.mesh));
+    fp.write_u64((mesh_fp >> 64) as u64);
+    fp.write_u64(mesh_fp as u64);
+    for col in &draw.transform.cols {
+        fp.write_f32(col.x);
+        fp.write_f32(col.y);
+        fp.write_f32(col.z);
+        fp.write_f32(col.w);
+    }
+    fp.write_u32(draw.vertex_shader.0);
+    fp.write_u32(draw.fragment_shader.0);
+    match draw.texture {
+        None => fp.write_u32(0),
+        Some(t) => {
+            fp.write_u32(1);
+            fp.write_u32(t.id.0);
+            fp.write_u32(t.width);
+            fp.write_u32(t.height);
+            fp.write_u32(t.bytes_per_texel);
+            fp.write_u64(t.base_address);
+        }
+    }
+    fp.write_u32(match draw.blend {
+        BlendMode::Opaque => 0,
+        BlendMode::AlphaBlend => 1,
+        BlendMode::Additive => 2,
+    });
+    fp.write_u32(u32::from(draw.depth_test));
+}
+
+/// Content fingerprint of a frame: every field of every draw call that
+/// the functional renderer or the timing model can observe.
+pub fn frame_fingerprint(frame: &Frame) -> u128 {
+    let mut fp = Fingerprint::new();
+    let mut meshes = HashMap::new();
+    fp.write_u64(frame.draws.len() as u64);
+    for draw in &frame.draws {
+        write_draw(&mut fp, draw, &mut meshes);
+    }
+    fp.finish()
+}
+
+/// Fingerprint of everything besides frame content that determines a
+/// characterization result: the render config and the shader table.
+///
+/// Both types are plain data with derived `Debug`, so their full debug
+/// representation is a faithful (if verbose) serialization — computed
+/// once per sequence, not per frame.
+pub fn activity_config_fingerprint(config: &RenderConfig, shaders: &ShaderTable) -> u128 {
+    let mut fp = Fingerprint::new();
+    fp.write_u64(0x41435449); // "ACTI" domain tag
+    fp.write_bytes(format!("{config:?}|{shaders:?}").as_bytes());
+    fp.finish()
+}
+
+/// Fingerprint of everything besides frame content that determines a
+/// timing result: the full GPU config (which embeds the render mode and
+/// viewport) and the shader table.
+pub fn stats_config_fingerprint(config: &GpuConfig, shaders: &ShaderTable) -> u128 {
+    let mut fp = Fingerprint::new();
+    fp.write_u64(0x53544154); // "STAT" domain tag
+    fp.write_bytes(format!("{config:?}|{shaders:?}").as_bytes());
+    fp.finish()
+}
+
+#[inline]
+fn combine(config_fp: u128, frame_fp: u128) -> u128 {
+    let mut fp = Fingerprint::new();
+    fp.write_u64((config_fp >> 64) as u64);
+    fp.write_u64(config_fp as u64);
+    fp.write_u64((frame_fp >> 64) as u64);
+    fp.write_u64(frame_fp as u64);
+    fp.finish()
+}
+
+/// Returns the cached [`FrameActivity`] for `(config_fp, frame)`, or
+/// computes (and caches) it. With the cache disabled this is just
+/// `compute()`.
+pub fn activity_or_else(
+    config_fp: u128,
+    frame: &Frame,
+    compute: impl FnOnce() -> FrameActivity,
+) -> FrameActivity {
+    if !is_enabled() {
+        return compute();
+    }
+    activity_cache().get_or_insert_with(combine(config_fp, frame_fingerprint(frame)), compute)
+}
+
+/// Returns the cached [`FrameStats`] for `(config_fp, frame)`, or
+/// computes (and caches) it. With the cache disabled this is just
+/// `compute()`.
+pub fn stats_or_else(
+    config_fp: u128,
+    frame: &Frame,
+    compute: impl FnOnce() -> FrameStats,
+) -> FrameStats {
+    if !is_enabled() {
+        return compute();
+    }
+    stats_cache().get_or_insert_with(combine(config_fp, frame_fingerprint(frame)), compute)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use megsim_gfx::geometry::Vertex;
+    use megsim_gfx::math::{Mat4, Vec3};
+    use megsim_gfx::shader::ShaderId;
+    use std::sync::Arc;
+
+    fn frame_with(z: f32) -> Frame {
+        let mesh = Arc::new(Mesh::new(
+            vec![
+                Vertex::at(Vec3::new(-0.5, -0.5, z)),
+                Vertex::at(Vec3::new(0.5, -0.5, z)),
+                Vertex::at(Vec3::new(0.0, 0.5, z)),
+            ],
+            vec![0, 1, 2],
+            0x100,
+        ));
+        let mut f = Frame::new();
+        f.draws.push(DrawCall {
+            mesh,
+            transform: Mat4::IDENTITY,
+            vertex_shader: ShaderId(0),
+            fragment_shader: ShaderId(0),
+            texture: None,
+            blend: BlendMode::Opaque,
+            depth_test: true,
+        });
+        f
+    }
+
+    #[test]
+    fn identical_content_hashes_identically() {
+        // Distinct allocations, same content: the fingerprint must be
+        // content-addressed, not identity-addressed.
+        assert_eq!(frame_fingerprint(&frame_with(0.25)), frame_fingerprint(&frame_with(0.25)));
+    }
+
+    #[test]
+    fn content_changes_change_the_hash() {
+        let base = frame_fingerprint(&frame_with(0.25));
+        assert_ne!(base, frame_fingerprint(&frame_with(0.26)));
+        let mut f = frame_with(0.25);
+        f.draws[0].depth_test = false;
+        assert_ne!(base, frame_fingerprint(&f));
+        let mut f = frame_with(0.25);
+        f.draws[0].blend = BlendMode::Additive;
+        assert_ne!(base, frame_fingerprint(&f));
+        let mut f = frame_with(0.25);
+        f.draws[0].transform = Mat4::translation(Vec3::new(0.1, 0.0, 0.0));
+        assert_ne!(base, frame_fingerprint(&f));
+    }
+
+    #[test]
+    fn empty_frame_differs_from_nonempty() {
+        assert_ne!(frame_fingerprint(&Frame::new()), frame_fingerprint(&frame_with(0.5)));
+    }
+
+    #[test]
+    fn domain_tags_separate_activity_and_stats_keys() {
+        let shaders = ShaderTable::new();
+        let rc = RenderConfig::default();
+        let gc = GpuConfig::default();
+        assert_ne!(
+            activity_config_fingerprint(&rc, &shaders),
+            stats_config_fingerprint(&gc, &shaders)
+        );
+    }
+
+    #[test]
+    fn bytes_hashing_is_length_prefixed() {
+        let mut a = Fingerprint::new();
+        a.write_bytes(b"ab");
+        a.write_bytes(b"c");
+        let mut b = Fingerprint::new();
+        b.write_bytes(b"a");
+        b.write_bytes(b"bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

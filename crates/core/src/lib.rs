@@ -45,6 +45,7 @@
 pub mod estimate;
 pub mod evaluate;
 pub mod features;
+pub mod frame_cache;
 pub mod normalize;
 pub mod pipeline;
 pub mod random_sampling;

@@ -1,0 +1,189 @@
+//! A small sharded concurrent memoization cache.
+//!
+//! Built for the frame-result memoization of the MEGsim pipeline:
+//! many worker threads look up 128-bit content keys, misses compute
+//! outside any lock, and hit/miss counters feed the experiment reports.
+//! Determinism note: because values stored under a key are themselves
+//! deterministic functions of the key (content-addressed), a lost
+//! insert race or a capacity-evicted entry can only cause *recompute*,
+//! never a different result — so results are bit-identical whether the
+//! cache is cold, warm, full, or disabled.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use parking_lot::Mutex;
+
+/// Number of independently-locked shards (power of two).
+const SHARDS: usize = 16;
+
+/// A fixed-capacity concurrent `u128 → V` map with hit/miss statistics.
+///
+/// Keys are expected to already be uniformly distributed (content
+/// hashes); the top bits select the shard. When a shard reaches its
+/// capacity share, further inserts into it are dropped — a full cache
+/// degrades to recomputation, never to eviction churn.
+pub struct ConcurrentCache<V> {
+    shards: Vec<Mutex<HashMap<u128, V>>>,
+    per_shard_capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<V: Clone> ConcurrentCache<V> {
+    /// Creates a cache holding at most roughly `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Mutex::new(HashMap::new())).collect(),
+            per_shard_capacity: capacity.div_ceil(SHARDS).max(1),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: u128) -> &Mutex<HashMap<u128, V>> {
+        &self.shards[(key >> 124) as usize & (SHARDS - 1)]
+    }
+
+    /// Looks `key` up, counting a hit or miss.
+    pub fn lookup(&self, key: u128) -> Option<V> {
+        let found = self.shard(key).lock().get(&key).cloned();
+        if found.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        found
+    }
+
+    /// Stores `key → value` unless the shard is at capacity (the value
+    /// is then simply dropped; see the type docs for why that is safe).
+    pub fn insert(&self, key: u128, value: V) {
+        let mut shard = self.shard(key).lock();
+        if shard.len() < self.per_shard_capacity || shard.contains_key(&key) {
+            shard.insert(key, value);
+        }
+    }
+
+    /// Returns the cached value for `key`, computing and storing it on
+    /// a miss. `compute` runs outside any lock, so concurrent misses on
+    /// the same key may compute redundantly (both arrive at the same
+    /// value; one insert wins).
+    pub fn get_or_insert_with(&self, key: u128, compute: impl FnOnce() -> V) -> V {
+        if let Some(v) = self.lookup(key) {
+            return v;
+        }
+        let v = compute();
+        self.insert(key, v.clone());
+        v
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries currently stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all entries and zeroes the statistics.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_counting() {
+        let cache = ConcurrentCache::new(64);
+        assert_eq!(cache.lookup(1), None);
+        cache.insert(1, 10u64);
+        assert_eq!(cache.lookup(1), Some(10));
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn get_or_insert_computes_once_per_key() {
+        let cache = ConcurrentCache::new(64);
+        let mut calls = 0;
+        let v = cache.get_or_insert_with(7, || {
+            calls += 1;
+            42u64
+        });
+        assert_eq!(v, 42);
+        let v = cache.get_or_insert_with(7, || {
+            calls += 1;
+            99u64
+        });
+        assert_eq!(v, 42, "second call must hit");
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn capacity_bounds_inserts_per_shard() {
+        let cache = ConcurrentCache::new(SHARDS); // 1 entry per shard
+        // Keys differing only in low bits land in the same shard.
+        cache.insert(1, 1u64);
+        cache.insert(2, 2u64);
+        assert_eq!(cache.lookup(1), Some(1));
+        assert_eq!(cache.lookup(2), None, "shard full: insert dropped");
+        // Overwriting an existing key is always allowed.
+        cache.insert(1, 3u64);
+        assert_eq!(cache.lookup(1), Some(3));
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let cache = ConcurrentCache::new(64);
+        cache.insert(5, 5u64);
+        let _ = cache.lookup(5);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn concurrent_use_is_consistent() {
+        use std::sync::Arc;
+        let cache = Arc::new(ConcurrentCache::new(1024));
+        let threads: Vec<_> = (0..4)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for k in 0..256u128 {
+                        let key = k << 120; // top bits vary → all shards
+                        let v = cache.get_or_insert_with(key, || k as u64 * 3);
+                        assert_eq!(v, k as u64 * 3);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        assert_eq!(cache.len(), 256);
+    }
+}

@@ -1,6 +1,11 @@
 //! The Tiling Engine's Polygon List Builder: identifies the screen tiles
 //! overlapped by each primitive and builds per-tile primitive lists
 //! (center of Fig. 1).
+//!
+//! The per-tile lists are stored in CSR form (one offsets array plus one
+//! flat entries array) instead of a `Vec<Vec<u32>>`, so rebuilding the
+//! bins every frame touches no allocator once the scratch buffers have
+//! grown to steady state.
 
 use megsim_gfx::draw::Viewport;
 use megsim_gfx::geometry::Primitive;
@@ -17,35 +22,92 @@ pub struct BinnedPrim {
     pub prim: Primitive,
 }
 
-/// Per-tile primitive lists, in submission order within each tile.
-#[derive(Debug, Clone)]
+/// Per-tile primitive lists, in submission order within each tile,
+/// stored as a CSR matrix over tiles.
+#[derive(Debug, Clone, Default)]
 pub struct TileBins {
     /// Flat store of all emitted primitives.
-    pub prims: Vec<BinnedPrim>,
-    /// For each tile (row-major), indices into `prims`.
-    pub bins: Vec<Vec<u32>>,
+    prims: Vec<BinnedPrim>,
+    /// CSR row starts: tile `t`'s entries live at
+    /// `entries[offsets[t]..offsets[t + 1]]`. Empty when no tiles.
+    offsets: Vec<u32>,
+    /// Indices into `prims`, grouped by tile.
+    entries: Vec<u32>,
 }
 
 impl TileBins {
+    /// Bins with no tiles and no primitives — the placeholder for
+    /// immediate-mode rendering, which bypasses the Tiling Engine.
+    pub fn empty() -> Self {
+        Self::default()
+    }
+
+    /// The binned primitive with the given index.
+    #[inline]
+    pub fn prim(&self, index: u32) -> &BinnedPrim {
+        &self.prims[index as usize]
+    }
+
+    /// Number of binned primitives.
+    pub fn prim_count(&self) -> usize {
+        self.prims.len()
+    }
+
+    /// Whether no primitive was binned.
+    pub fn is_empty(&self) -> bool {
+        self.prims.is_empty()
+    }
+
+    /// Primitive indices binned to the given tile (row-major).
+    pub fn tile_entries(&self, tile: u32) -> &[u32] {
+        let t = tile as usize;
+        if t + 1 >= self.offsets.len() {
+            return &[];
+        }
+        &self.entries[self.offsets[t] as usize..self.offsets[t + 1] as usize]
+    }
+
     /// Tiles that contain at least one primitive, in row-major order.
     pub fn touched_tiles(&self) -> impl Iterator<Item = (u32, &[u32])> {
-        self.bins
-            .iter()
+        self.offsets
+            .windows(2)
             .enumerate()
-            .filter(|(_, b)| !b.is_empty())
-            .map(|(i, b)| (i as u32, b.as_slice()))
+            .filter(|(_, w)| w[1] > w[0])
+            .map(|(t, w)| (t as u32, &self.entries[w[0] as usize..w[1] as usize]))
     }
+}
+
+/// Reusable Tiling Engine scratch: the per-tile entry counters and the
+/// per-primitive tile spans recorded by the counting pass.
+#[derive(Debug, Default)]
+pub struct BinScratch {
+    /// Per-tile entry count, then (after the prefix sum) the per-tile
+    /// write cursor of the fill pass.
+    counts: Vec<u32>,
+    /// `(tx0, ty0, tx1, ty1)` per kept primitive, parallel to
+    /// `TileBins::prims`.
+    spans: Vec<(u32, u32, u32, u32)>,
 }
 
 /// Bins every emitted primitive to the tiles its bounding box overlaps
 /// (the conservative binning that bbox-based Polygon List Builders use).
+///
+/// Two passes over the primitives: the first counts entries per tile
+/// (recording each primitive's tile span), the second fills the CSR
+/// entries in primitive order — preserving submission order within every
+/// tile, exactly as the old push-based builder did.
 pub fn bin_primitives(
     draws: &[TransformedDraw],
     viewport: Viewport,
     activity: &mut FrameActivity,
+    scratch: &mut BinScratch,
 ) -> TileBins {
-    let mut bins: Vec<Vec<u32>> = vec![Vec::new(); viewport.tile_count() as usize];
-    let mut prims = Vec::new();
+    let tile_count = viewport.tile_count() as usize;
+    let mut bins = TileBins::default();
+    scratch.counts.clear();
+    scratch.counts.resize(tile_count, 0);
+    scratch.spans.clear();
+    // Pass 1: keep overlapping primitives and count per-tile entries.
     for draw in draws {
         for prim in &draw.prims {
             let (min_x, min_y, max_x, max_y) = prim.bounds();
@@ -53,21 +115,49 @@ pub fn bin_primitives(
             else {
                 continue;
             };
-            let prim_idx = prims.len() as u32;
-            prims.push(BinnedPrim {
+            bins.prims.push(BinnedPrim {
                 draw_index: draw.geometry.draw_index,
                 prim: *prim,
             });
+            scratch.spans.push((tx0, ty0, tx1, ty1));
             for ty in ty0..=ty1 {
                 for tx in tx0..=tx1 {
-                    bins[viewport.tile_index(tx, ty) as usize].push(prim_idx);
+                    scratch.counts[viewport.tile_index(tx, ty) as usize] += 1;
                     activity.tile_bin_entries += 1;
                 }
             }
         }
     }
-    activity.tiles_touched += bins.iter().filter(|b| !b.is_empty()).count() as u64;
-    TileBins { prims, bins }
+    // Prefix-sum the counts into CSR offsets, turning `counts` into the
+    // fill pass's write cursors.
+    bins.offsets.clear();
+    bins.offsets.reserve(tile_count + 1);
+    let mut total = 0u32;
+    bins.offsets.push(0);
+    for c in scratch.counts.iter_mut() {
+        let n = *c;
+        *c = total;
+        total += n;
+        bins.offsets.push(total);
+    }
+    // Pass 2: fill entries in primitive (= submission) order.
+    bins.entries.clear();
+    bins.entries.resize(total as usize, 0);
+    for (prim_idx, &(tx0, ty0, tx1, ty1)) in scratch.spans.iter().enumerate() {
+        for ty in ty0..=ty1 {
+            for tx in tx0..=tx1 {
+                let cursor = &mut scratch.counts[viewport.tile_index(tx, ty) as usize];
+                bins.entries[*cursor as usize] = prim_idx as u32;
+                *cursor += 1;
+            }
+        }
+    }
+    activity.tiles_touched += bins
+        .offsets
+        .windows(2)
+        .filter(|w| w[1] > w[0])
+        .count() as u64;
+    bins
 }
 
 #[cfg(test)]
@@ -103,6 +193,10 @@ mod tests {
         }
     }
 
+    fn bin(draws: &[TransformedDraw], viewport: Viewport, act: &mut FrameActivity) -> TileBins {
+        bin_primitives(draws, viewport, act, &mut BinScratch::default())
+    }
+
     #[test]
     fn small_triangle_bins_to_one_tile() {
         let viewport = Viewport::new(128, 128, 32);
@@ -110,10 +204,10 @@ mod tests {
             v: [sv(2.0, 2.0), sv(10.0, 2.0), sv(2.0, 10.0)],
         };
         let mut act = FrameActivity::new(1, 1);
-        let bins = bin_primitives(&[transformed(vec![prim])], viewport, &mut act);
+        let bins = bin(&[transformed(vec![prim])], viewport, &mut act);
         assert_eq!(act.tile_bin_entries, 1);
         assert_eq!(act.tiles_touched, 1);
-        assert_eq!(bins.bins[0], vec![0]);
+        assert_eq!(bins.tile_entries(0), &[0]);
     }
 
     #[test]
@@ -124,7 +218,7 @@ mod tests {
             v: [sv(10.0, 10.0), sv(50.0, 10.0), sv(10.0, 50.0)],
         };
         let mut act = FrameActivity::new(1, 1);
-        let bins = bin_primitives(&[transformed(vec![prim])], viewport, &mut act);
+        let bins = bin(&[transformed(vec![prim])], viewport, &mut act);
         assert_eq!(act.tile_bin_entries, 4);
         assert_eq!(bins.touched_tiles().count(), 4);
     }
@@ -139,8 +233,8 @@ mod tests {
             v: [sv(2.0, 2.0), sv(6.0, 2.0), sv(2.0, 6.0)],
         };
         let mut act = FrameActivity::new(1, 1);
-        let bins = bin_primitives(&[transformed(vec![a, b])], viewport, &mut act);
-        assert_eq!(bins.bins[0], vec![0, 1]);
+        let bins = bin(&[transformed(vec![a, b])], viewport, &mut act);
+        assert_eq!(bins.tile_entries(0), &[0, 1]);
     }
 
     #[test]
@@ -150,8 +244,55 @@ mod tests {
             v: [sv(-50.0, -50.0), sv(-40.0, -50.0), sv(-50.0, -40.0)],
         };
         let mut act = FrameActivity::new(1, 1);
-        let bins = bin_primitives(&[transformed(vec![prim])], viewport, &mut act);
+        let bins = bin(&[transformed(vec![prim])], viewport, &mut act);
         assert_eq!(act.tile_bin_entries, 0);
-        assert!(bins.prims.is_empty());
+        assert!(bins.is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_scratch() {
+        let viewport = Viewport::new(128, 128, 32);
+        let prims = vec![
+            Primitive {
+                v: [sv(10.0, 10.0), sv(50.0, 10.0), sv(10.0, 50.0)],
+            },
+            Primitive {
+                v: [sv(70.0, 70.0), sv(90.0, 70.0), sv(70.0, 90.0)],
+            },
+        ];
+        let mut scratch = BinScratch::default();
+        let mut a1 = FrameActivity::new(1, 1);
+        // Dirty the scratch with an unrelated frame first.
+        let _ = bin_primitives(
+            &[transformed(vec![Primitive {
+                v: [sv(1.0, 1.0), sv(120.0, 1.0), sv(1.0, 120.0)],
+            }])],
+            viewport,
+            &mut a1,
+            &mut scratch,
+        );
+        let mut act_reused = FrameActivity::new(1, 1);
+        let reused = bin_primitives(
+            &[transformed(prims.clone())],
+            viewport,
+            &mut act_reused,
+            &mut scratch,
+        );
+        let mut act_fresh = FrameActivity::new(1, 1);
+        let fresh = bin(&[transformed(prims)], viewport, &mut act_fresh);
+        assert_eq!(act_reused, act_fresh);
+        assert_eq!(reused.prim_count(), fresh.prim_count());
+        let r: Vec<_> = reused.touched_tiles().collect();
+        let f: Vec<_> = fresh.touched_tiles().collect();
+        assert_eq!(r, f);
+    }
+
+    #[test]
+    fn empty_bins_report_nothing() {
+        let bins = TileBins::empty();
+        assert!(bins.is_empty());
+        assert_eq!(bins.prim_count(), 0);
+        assert_eq!(bins.touched_tiles().count(), 0);
+        assert_eq!(bins.tile_entries(3), &[] as &[u32]);
     }
 }

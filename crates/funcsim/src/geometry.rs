@@ -19,6 +19,24 @@ pub struct TransformedDraw {
     pub geometry: DrawGeometry,
 }
 
+/// Reusable Geometry Pipeline scratch: the per-mesh post-transform
+/// vertex caches, grown once and recycled across draws and frames.
+#[derive(Debug, Default)]
+pub struct GeomScratch {
+    clip: Vec<Option<Vec4>>,
+    screen: Vec<Option<ScreenVertex>>,
+}
+
+impl GeomScratch {
+    /// Clears both caches and sizes them for `n` vertices.
+    fn reset(&mut self, n: usize) {
+        self.clip.clear();
+        self.clip.resize(n, None);
+        self.screen.clear();
+        self.screen.resize(n, None);
+    }
+}
+
 /// Frustum outcode bits for trivial clipping.
 fn outcode(v: Vec4) -> u8 {
     let mut code = 0u8;
@@ -59,6 +77,7 @@ pub fn process_draw(
     shaders: &ShaderTable,
     activity: &mut FrameActivity,
     collect_addresses: bool,
+    scratch: &mut GeomScratch,
 ) -> TransformedDraw {
     let mesh = &draw.mesh;
     let vs = shaders.vertex_shader(draw.vertex_shader);
@@ -66,8 +85,11 @@ pub fn process_draw(
     let half_h = viewport.height as f32 * 0.5;
 
     // --- Vertex Fetcher + Vertex Processors -------------------------
-    let mut clip_cache: Vec<Option<Vec4>> = vec![None; mesh.vertices.len()];
-    let mut screen_cache: Vec<Option<ScreenVertex>> = vec![None; mesh.vertices.len()];
+    scratch.reset(mesh.vertices.len());
+    let GeomScratch {
+        clip: clip_cache,
+        screen: screen_cache,
+    } = scratch;
     let mut fetch_addresses = Vec::new();
     if collect_addresses {
         fetch_addresses.reserve(mesh.indices.len());
@@ -200,7 +222,7 @@ mod tests {
         let draw = draw_of(ccw_tri(), Mat4::IDENTITY);
         let viewport = Viewport::new(100, 100, 32);
         let mut act = FrameActivity::new(1, 1);
-        let out = process_draw(&draw, 0, viewport, &table(), &mut act, true);
+        let out = process_draw(&draw, 0, viewport, &table(), &mut act, true, &mut GeomScratch::default());
         assert_eq!(out.prims.len(), 1);
         assert_eq!(act.primitives_emitted, 1);
         assert_eq!(act.vertices_shaded, 3);
@@ -217,7 +239,7 @@ mod tests {
         mesh.indices = vec![0, 2, 1]; // reverse winding
         let draw = draw_of(mesh, Mat4::IDENTITY);
         let mut act = FrameActivity::new(1, 1);
-        let out = process_draw(&draw, 0, Viewport::new(100, 100, 32), &table(), &mut act, false);
+        let out = process_draw(&draw, 0, Viewport::new(100, 100, 32), &table(), &mut act, false, &mut GeomScratch::default());
         assert!(out.prims.is_empty());
         assert_eq!(act.primitives_culled_backface, 1);
     }
@@ -226,7 +248,7 @@ mod tests {
     fn offscreen_triangle_is_clipped() {
         let draw = draw_of(ccw_tri(), Mat4::translation(Vec3::new(10.0, 0.0, 0.0)));
         let mut act = FrameActivity::new(1, 1);
-        let out = process_draw(&draw, 0, Viewport::new(100, 100, 32), &table(), &mut act, false);
+        let out = process_draw(&draw, 0, Viewport::new(100, 100, 32), &table(), &mut act, false, &mut GeomScratch::default());
         assert!(out.prims.is_empty());
         assert_eq!(act.primitives_clipped, 1);
     }
@@ -244,7 +266,7 @@ mod tests {
         );
         let draw = draw_of(mesh, Mat4::IDENTITY);
         let mut act = FrameActivity::new(1, 1);
-        let out = process_draw(&draw, 0, Viewport::new(100, 100, 32), &table(), &mut act, false);
+        let out = process_draw(&draw, 0, Viewport::new(100, 100, 32), &table(), &mut act, false, &mut GeomScratch::default());
         assert!(out.prims.is_empty());
         assert_eq!(act.primitives_culled_degenerate, 1);
     }
@@ -264,7 +286,7 @@ mod tests {
         );
         let draw = draw_of(mesh, Mat4::IDENTITY);
         let mut act = FrameActivity::new(1, 1);
-        let _ = process_draw(&draw, 0, Viewport::new(64, 64, 32), &table(), &mut act, false);
+        let _ = process_draw(&draw, 0, Viewport::new(64, 64, 32), &table(), &mut act, false, &mut GeomScratch::default());
         assert_eq!(act.vertices_fetched, 6);
         assert_eq!(act.vertices_shaded, 4);
     }
@@ -276,7 +298,7 @@ mod tests {
         let model = Mat4::translation(Vec3::new(0.0, 0.0, 1.0));
         let draw = draw_of(ccw_tri(), proj * model);
         let mut act = FrameActivity::new(1, 1);
-        let out = process_draw(&draw, 0, Viewport::new(64, 64, 32), &table(), &mut act, false);
+        let out = process_draw(&draw, 0, Viewport::new(64, 64, 32), &table(), &mut act, false, &mut GeomScratch::default());
         assert!(out.prims.is_empty());
         assert_eq!(act.primitives_clipped, 1);
     }

@@ -56,9 +56,12 @@ pub mod activity;
 pub mod binning;
 pub mod geometry;
 pub mod raster;
+#[cfg(any(test, feature = "reference"))]
+pub mod raster_reference;
 pub mod renderer;
 pub mod trace;
 
 pub use activity::FrameActivity;
+pub use raster::RasterScratch;
 pub use renderer::{RenderConfig, RenderMode, Renderer};
 pub use trace::{DrawGeometry, FrameTrace, QuadTrace, TilePrim, TileTrace};

@@ -2,6 +2,8 @@
 //! Raster Pipeline, producing [`FrameActivity`] and optionally a full
 //! [`FrameTrace`] for the timing model.
 
+use std::cell::RefCell;
+
 use serde::{Deserialize, Serialize};
 
 use megsim_gfx::draw::{Frame, Viewport};
@@ -10,8 +12,15 @@ use megsim_gfx::shader::ShaderTable;
 use crate::activity::FrameActivity;
 use crate::binning::{bin_primitives, TileBins};
 use crate::geometry::process_draw;
-use crate::raster::rasterize_frame;
+use crate::raster::{rasterize_frame, RasterScratch};
 use crate::trace::FrameTrace;
+
+thread_local! {
+    /// Per-thread rendering scratch. Worker-pool threads render many
+    /// frames per scope, so the buffers reach steady state quickly and
+    /// the hot path stops touching the allocator.
+    static SCRATCH: RefCell<RasterScratch> = RefCell::new(RasterScratch::new());
+}
 
 /// The rendering architecture being simulated (paper §II-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -89,7 +98,38 @@ impl Renderer {
         self.render(frame, shaders, false).activity
     }
 
+    /// [`Self::render_frame`] with caller-owned scratch, for callers
+    /// that manage worker state themselves.
+    pub fn render_frame_with(
+        &self,
+        frame: &Frame,
+        shaders: &ShaderTable,
+        scratch: &mut RasterScratch,
+    ) -> FrameTrace {
+        self.render_with(frame, shaders, true, scratch)
+    }
+
+    /// [`Self::frame_activity`] with caller-owned scratch.
+    pub fn frame_activity_with(
+        &self,
+        frame: &Frame,
+        shaders: &ShaderTable,
+        scratch: &mut RasterScratch,
+    ) -> FrameActivity {
+        self.render_with(frame, shaders, false, scratch).activity
+    }
+
     fn render(&self, frame: &Frame, shaders: &ShaderTable, collect_trace: bool) -> FrameTrace {
+        SCRATCH.with(|s| self.render_with(frame, shaders, collect_trace, &mut s.borrow_mut()))
+    }
+
+    fn render_with(
+        &self,
+        frame: &Frame,
+        shaders: &ShaderTable,
+        collect_trace: bool,
+        scratch: &mut RasterScratch,
+    ) -> FrameTrace {
         let viewport = self.config.viewport;
         let mode = self.config.mode;
         let mut activity = FrameActivity::new(shaders.vertex_count(), shaders.fragment_count());
@@ -99,17 +139,22 @@ impl Renderer {
             .iter()
             .enumerate()
             .map(|(i, draw)| {
-                process_draw(draw, i as u32, viewport, shaders, &mut activity, collect_trace)
+                process_draw(
+                    draw,
+                    i as u32,
+                    viewport,
+                    shaders,
+                    &mut activity,
+                    collect_trace,
+                    &mut scratch.geom,
+                )
             })
             .collect();
         // Tiling Engine (absent in immediate-mode rendering).
         let bins = if mode == RenderMode::Immediate {
-            TileBins {
-                prims: Vec::new(),
-                bins: Vec::new(),
-            }
+            TileBins::empty()
         } else {
-            bin_primitives(&transformed, viewport, &mut activity)
+            bin_primitives(&transformed, viewport, &mut activity, &mut scratch.bins)
         };
         // Raster Pipeline.
         let tiles = rasterize_frame(
@@ -121,6 +166,7 @@ impl Renderer {
             mode,
             &mut activity,
             collect_trace,
+            scratch,
         );
         FrameTrace {
             mode,

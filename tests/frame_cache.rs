@@ -1,0 +1,98 @@
+//! The content-addressed frame cache is a pure wall-clock optimization:
+//! every pipeline output must be **bit-identical** with the cache on or
+//! off, cold or warm, at any worker-pool thread count — and a warm
+//! re-run must actually hit.
+//!
+//! Everything lives in ONE `#[test]` because the cache-enabled flag and
+//! the worker-pool size are process-global: parallel test functions
+//! toggling them would race each other.
+
+use megsim_core::evaluate::{
+    characterize_sequence, evaluate_megsim, simulate_representatives, simulate_sequence,
+};
+use megsim_core::frame_cache;
+use megsim_core::pipeline::MegsimConfig;
+use megsim_timing::{FrameStats, GpuConfig};
+use megsim_workloads::by_alias;
+
+/// Everything the flow produces, flattened for exact comparison.
+#[derive(PartialEq, Debug)]
+struct FlowArtifacts {
+    features: Vec<f64>,
+    per_frame: Vec<FrameStats>,
+    representatives: Vec<(usize, usize)>,
+    rep_stats: Vec<FrameStats>,
+    estimated: FrameStats,
+}
+
+fn run_flow() -> FlowArtifacts {
+    let workload = by_alias("pvz", 0.01, 42).expect("known alias"); // 50 frames
+    let gpu = GpuConfig::small(192, 192);
+    let config = MegsimConfig::default();
+    let matrix = characterize_sequence(workload.iter_frames(), workload.shaders(), &gpu, &config);
+    let per_frame = simulate_sequence(workload.iter_frames(), workload.shaders(), &gpu);
+    let run = evaluate_megsim(&matrix, &per_frame, &config);
+    let rep_stats =
+        simulate_representatives(|i| workload.frame(i), &run.selection, workload.shaders(), &gpu);
+    FlowArtifacts {
+        features: matrix.rows.as_slice().to_vec(),
+        per_frame,
+        representatives: run
+            .selection
+            .representatives
+            .iter()
+            .map(|r| (r.frame_index, r.cluster_size))
+            .collect(),
+        rep_stats,
+        estimated: run.estimated,
+    }
+}
+
+#[test]
+fn cache_state_and_thread_count_never_change_results() {
+    let mut runs = Vec::new();
+    for enabled in [false, true] {
+        for threads in [1usize, 8] {
+            frame_cache::set_enabled(enabled);
+            frame_cache::clear();
+            megsim_exec::set_threads(threads);
+            runs.push(((enabled, threads), run_flow()));
+        }
+    }
+
+    let ((_, _), baseline) = &runs[0];
+    for ((enabled, threads), r) in &runs[1..] {
+        assert_eq!(
+            baseline, r,
+            "pipeline output differs with cache={enabled} at {threads} threads"
+        );
+    }
+
+    // A cold enabled run already hits: the representatives simulated
+    // standalone were cached during the full-sequence pass.
+    frame_cache::set_enabled(true);
+    frame_cache::clear();
+    let cold = run_flow();
+    let report = frame_cache::report();
+    assert!(
+        report.stats_hits > 0,
+        "representative re-simulation should hit the stats cache: {}",
+        report.summary()
+    );
+    assert!(report.stats_entries > 0 && report.activity_entries > 0);
+
+    // A warm re-run hits on both caches and still matches bit-for-bit.
+    let warm = run_flow();
+    assert_eq!(&cold, &warm, "warm cache run diverged from cold run");
+    let report = frame_cache::report();
+    assert!(
+        report.activity_hits > 0,
+        "warm characterization should hit the activity cache: {}",
+        report.summary()
+    );
+    assert!(report.hit_rate() > 0.0);
+
+    megsim_exec::set_threads(0);
+    frame_cache::set_enabled(true);
+    frame_cache::clear();
+}
