@@ -726,7 +726,7 @@ pub fn ablation_texture_weights(data: &[BenchmarkData], base: &MegsimConfig) -> 
             let cfg_feat = megsim_core::CharacterizationConfig {
                 weight_texture_filters: flag,
             };
-            let activities = d.per_frame.iter().map(|f| &f.activity);
+            let activities = d.per_frame.iter().map(|f| &*f.activity);
             let matrix =
                 megsim_core::feature_matrix(activities, d.workload.shaders(), &cfg_feat);
             let run = evaluate_megsim(&matrix, &d.per_frame, base);

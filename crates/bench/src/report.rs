@@ -121,7 +121,9 @@ fn parse_bench_json(text: &str) -> Vec<(String, f64)> {
 /// Merges `entries` into the flat-JSON benchmark summary at `path`,
 /// creating the file if absent. Existing keys are overwritten by new
 /// values; keys only present in the file are preserved, so the
-/// different benches can each contribute their slice of `BENCH_2.json`.
+/// different benches can each contribute their slice of a summary:
+/// the funcsim bench maintains `BENCH_2.json`, the timing bench
+/// `BENCH_3.json`.
 ///
 /// # Errors
 ///

@@ -7,8 +7,9 @@
 //! [`simulate_sequence`], [`simulate_representatives`]) fan out across
 //! frames on the `megsim-exec` worker pool. Every frame's result
 //! depends only on its index, so outputs are bit-identical at any
-//! thread count. The old warm-cache sequential ground truth remains
-//! available as [`simulate_sequence_warm`].
+//! thread count. The warm-cache ground truth
+//! ([`simulate_sequence_warm`]) is order-dependent but still overlaps
+//! rendering with timing through a bounded ordered pipeline.
 //!
 //! The same independence makes per-frame results memoizable: the
 //! parallel passes consult the content-addressed [`crate::frame_cache`]
@@ -78,10 +79,25 @@ pub fn simulate_sequence(
     })
 }
 
-/// Sequential cycle-level simulation with memory-hierarchy state warmed
-/// across frames — the pre-parallel ground-truth semantics, kept for
-/// cache-warm-up studies. Inherently order-dependent, so it never runs
-/// on the pool.
+/// How many rendered traces the warm pipeline buffers ahead of the
+/// timing model. Traces are the large intermediate here, so the window
+/// is kept small; it only needs to cover render-time jitter.
+const WARM_PIPELINE_DEPTH: usize = 4;
+
+/// Cycle-level simulation with memory-hierarchy state warmed across
+/// frames — the ground-truth semantics for cache-warm-up studies.
+///
+/// Timing is inherently order-dependent (one GPU state threads through
+/// every frame), but functional rendering is not: frame `N + 1` renders
+/// on the worker pool while frame `N` runs through the timing model,
+/// via [`megsim_exec::ordered_pipeline`]. The timing model consumes
+/// traces strictly in frame order on the caller thread, so the results
+/// are bit-identical to [`simulate_sequence_warm_sequential`] at every
+/// thread count.
+///
+/// At the end of the sequence the device goes idle and the L2 drains:
+/// its remaining dirty lines are written back and counted on the last
+/// frame's L2 counters (idle-time writebacks).
 pub fn simulate_sequence_warm(
     frames: impl Iterator<Item = Frame>,
     shaders: &ShaderTable,
@@ -91,13 +107,48 @@ pub fn simulate_sequence_warm(
         viewport: gpu_config.viewport,
         mode: gpu_config.render_mode,
     });
+    let frames: Vec<Frame> = frames.collect();
     let mut gpu = Gpu::new(gpu_config.clone());
-    frames
+    let mut stats = Vec::with_capacity(frames.len());
+    megsim_exec::ordered_pipeline(
+        frames.len(),
+        WARM_PIPELINE_DEPTH,
+        |i| renderer.render_frame(&frames[i], shaders),
+        |_, trace| stats.push(gpu.simulate_frame(&trace, shaders)),
+    );
+    drain_idle_l2(&mut gpu, &mut stats);
+    stats
+}
+
+/// The plain single-threaded warm loop — the pipelined
+/// [`simulate_sequence_warm`] is asserted bit-identical to this.
+pub fn simulate_sequence_warm_sequential(
+    frames: impl Iterator<Item = Frame>,
+    shaders: &ShaderTable,
+    gpu_config: &GpuConfig,
+) -> Vec<FrameStats> {
+    let renderer = Renderer::new(RenderConfig {
+        viewport: gpu_config.viewport,
+        mode: gpu_config.render_mode,
+    });
+    let mut gpu = Gpu::new(gpu_config.clone());
+    let mut stats: Vec<FrameStats> = frames
         .map(|f| {
             let trace = renderer.render_frame(&f, shaders);
             gpu.simulate_frame(&trace, shaders)
         })
-        .collect()
+        .collect();
+    drain_idle_l2(&mut gpu, &mut stats);
+    stats
+}
+
+/// End-of-sequence L2 drain: attributes the writebacks of the lines
+/// still dirty when the device goes idle to the last frame.
+fn drain_idle_l2(gpu: &mut Gpu, stats: &mut [FrameStats]) {
+    let writebacks = gpu.drain_l2();
+    if let Some(last) = stats.last_mut() {
+        last.memory.l2.writebacks += writebacks;
+    }
 }
 
 /// Simulates only the selected representative frames, each on a *fresh*

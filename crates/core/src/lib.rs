@@ -54,7 +54,7 @@ pub mod similarity;
 pub use estimate::{estimate_totals, metric_errors, sequence_totals, MetricErrors};
 pub use evaluate::{
     characterize_sequence, evaluate_megsim, simulate_representatives, simulate_sequence,
-    simulate_sequence_warm, MegsimRun,
+    simulate_sequence_warm, simulate_sequence_warm_sequential, MegsimRun,
 };
 pub use features::{characterize_frame, feature_matrix, CharacterizationConfig, FeatureMatrix};
 pub use normalize::{normalize, GroupWeights};

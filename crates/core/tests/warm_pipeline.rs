@@ -1,0 +1,39 @@
+//! Determinism tests for the pipelined warm-sequence simulator: the
+//! bounded ordered pipeline must produce statistics bit-identical to
+//! the plain sequential loop at every thread count, because the timing
+//! model consumes traces strictly in frame order on one thread.
+
+use megsim_core::{simulate_sequence_warm, simulate_sequence_warm_sequential};
+use megsim_timing::GpuConfig;
+use megsim_workloads::by_alias;
+
+#[test]
+fn pipelined_warm_sequence_is_bit_identical_across_thread_counts() {
+    let workload = by_alias("jjo", 0.01, 5).expect("known alias");
+    let cfg = GpuConfig::small(192, 192);
+    let baseline =
+        simulate_sequence_warm_sequential(workload.iter_frames(), workload.shaders(), &cfg);
+    assert!(baseline.len() > 4, "workload produced a trivial sequence");
+    for threads in [1, 2, 8] {
+        megsim_exec::set_threads(threads);
+        let piped = simulate_sequence_warm(workload.iter_frames(), workload.shaders(), &cfg);
+        megsim_exec::set_threads(0);
+        assert_eq!(piped, baseline, "threads = {threads}");
+    }
+}
+
+#[test]
+fn warm_sequence_counts_idle_l2_drain_on_last_frame() {
+    let workload = by_alias("pvz", 0.01, 4).expect("known alias");
+    let cfg = GpuConfig::small(192, 192);
+    let stats = simulate_sequence_warm_sequential(workload.iter_frames(), workload.shaders(), &cfg);
+    let last = stats.last().expect("non-empty sequence");
+    // The device went idle with dirty frame-buffer lines still in the
+    // L2; their writebacks are attributed to the final frame, so the
+    // sequence's total writeback count matches what a full drain of the
+    // hierarchy would observe.
+    assert!(
+        last.memory.l2.writebacks > 0,
+        "end-of-sequence drain produced no writebacks"
+    );
+}

@@ -38,8 +38,10 @@
 #![forbid(unsafe_code)]
 
 pub mod cache;
+pub mod pipeline;
 
 pub use cache::ConcurrentCache;
+pub use pipeline::ordered_pipeline;
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -57,7 +59,7 @@ static DEFAULT_THREADS: OnceLock<usize> = OnceLock::new();
 thread_local! {
     /// Set while executing inside a pool worker; nested parallel calls
     /// check it and degrade to sequential execution.
-    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+    pub(crate) static IN_POOL: Cell<bool> = const { Cell::new(false) };
 }
 
 /// Overrides the worker-thread count for all subsequent parallel

@@ -1,0 +1,257 @@
+//! Ordered bounded producer/consumer pipeline.
+//!
+//! [`ordered_pipeline`] decouples a parallelizable *produce* stage from
+//! an order-dependent *consume* stage: producers fan out across the
+//! worker pool and run ahead by at most `capacity` items, while the
+//! consumer runs **on the caller thread, strictly in index order**.
+//! This is the shape of warm-sequence GPU simulation — frame `N + 1`
+//! renders (stateless, parallel) while frame `N` runs through the
+//! timing model (stateful, sequential) — and of any other
+//! stateful-fold-over-parallel-map stage.
+//!
+//! ## Determinism
+//!
+//! The consume stage observes items in index order on a single thread,
+//! and each `produce(i)` depends only on `i` (the same contract as
+//! [`crate::par_map_range`]), so the fold's result is bit-identical to
+//! the plain sequential loop at every thread count and capacity.
+//!
+//! ## Backpressure
+//!
+//! At most `capacity` produced items are buffered at once: a producer
+//! that claims index `i` blocks until `i < consumed + capacity`. A
+//! slow consumer therefore bounds memory to `capacity` items plus the
+//! (at most one per worker) items currently being produced.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+use crossbeam::thread::scope;
+
+use crate::{in_pool, thread_count, IN_POOL};
+
+/// Shared pipeline state: a ring of `capacity` slots plus the number of
+/// items the consumer has retired.
+struct Shared<T> {
+    ring: Vec<Option<T>>,
+    consumed: usize,
+    /// Set when a producer panicked, so the consumer stops waiting and
+    /// lets the scope propagate the panic instead of deadlocking.
+    failed: bool,
+}
+
+/// Re-arms `failed` if a producer unwinds mid-`produce`.
+struct FailGuard<'a, T> {
+    state: &'a Mutex<Shared<T>>,
+    ready: &'a Condvar,
+    armed: bool,
+}
+
+impl<T> Drop for FailGuard<'_, T> {
+    fn drop(&mut self) {
+        if self.armed {
+            if let Ok(mut st) = self.state.lock() {
+                st.failed = true;
+            }
+            self.ready.notify_all();
+        }
+    }
+}
+
+/// Runs `produce(0..n)` on the worker pool and feeds the results to
+/// `consume(i, item)` on the caller thread in strict index order, with
+/// producers running at most `capacity` items ahead of the consumer.
+///
+/// Falls back to the plain `produce → consume` loop when the pool would
+/// not help (one thread, nested inside a pool worker, `capacity == 0`,
+/// or `n <= 1`), so it is always safe to call unconditionally.
+///
+/// Panics in `produce` or `consume` propagate to the caller.
+pub fn ordered_pipeline<T, P, C>(n: usize, capacity: usize, produce: P, mut consume: C)
+where
+    T: Send,
+    P: Fn(usize) -> T + Sync,
+    C: FnMut(usize, T),
+{
+    let threads = thread_count().saturating_sub(1).min(n);
+    if threads == 0 || in_pool() || capacity == 0 || n <= 1 {
+        for i in 0..n {
+            let item = produce(i);
+            consume(i, item);
+        }
+        return;
+    }
+    let state: Mutex<Shared<T>> = Mutex::new(Shared {
+        ring: (0..capacity).map(|_| None).collect(),
+        consumed: 0,
+        failed: false,
+    });
+    let space = Condvar::new();
+    let ready = Condvar::new();
+    let next = AtomicUsize::new(0);
+    scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                IN_POOL.with(|flag| flag.set(true));
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    // Backpressure: wait until index `i` fits in the
+                    // window the consumer has opened.
+                    {
+                        let mut st = state.lock().expect("pipeline state");
+                        while i >= st.consumed + capacity {
+                            st = space.wait(st).expect("pipeline state");
+                        }
+                    }
+                    let mut guard = FailGuard {
+                        state: &state,
+                        ready: &ready,
+                        armed: true,
+                    };
+                    let item = produce(i);
+                    guard.armed = false;
+                    drop(guard);
+                    let mut st = state.lock().expect("pipeline state");
+                    let slot = i % capacity;
+                    debug_assert!(st.ring[slot].is_none(), "slot reused before consumption");
+                    st.ring[slot] = Some(item);
+                    // The consumer only ever waits for one specific
+                    // slot, so notify_all is one wakeup.
+                    ready.notify_all();
+                }
+            });
+        }
+        // Consumer: the caller thread folds items in index order.
+        for i in 0..n {
+            let item = {
+                let slot = i % capacity;
+                let mut st = state.lock().expect("pipeline state");
+                while st.ring[slot].is_none() && !st.failed {
+                    st = ready.wait(st).expect("pipeline state");
+                }
+                if st.failed {
+                    // A producer panicked; stop consuming and let the
+                    // scope join propagate its panic.
+                    break;
+                }
+                let item = st.ring[slot].take().expect("slot filled");
+                st.consumed = i + 1;
+                space.notify_all();
+                item
+            };
+            consume(i, item);
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::set_threads;
+    use std::sync::atomic::AtomicU64;
+
+    /// Serializes tests that touch the global thread override (shared
+    /// with the lib.rs tests via an independent lock — the override is
+    /// process-global, so tests here also take their own guard).
+    static OVERRIDE_LOCK: parking_lot::Mutex<()> = parking_lot::Mutex::new(());
+
+    fn collect(n: usize, capacity: usize) -> Vec<u64> {
+        let mut out = Vec::new();
+        ordered_pipeline(
+            n,
+            capacity,
+            |i| (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 7,
+            |_, v| out.push(v),
+        );
+        out
+    }
+
+    #[test]
+    fn consumes_in_index_order_at_any_thread_count() {
+        let _guard = OVERRIDE_LOCK.lock();
+        let baseline = {
+            set_threads(1);
+            collect(257, 4)
+        };
+        for threads in [2, 3, 8] {
+            set_threads(threads);
+            assert_eq!(collect(257, 4), baseline, "threads = {threads}");
+        }
+        set_threads(0);
+    }
+
+    #[test]
+    fn capacity_bounds_buffered_items() {
+        let _guard = OVERRIDE_LOCK.lock();
+        set_threads(8);
+        let produced = AtomicU64::new(0);
+        let mut consumed = 0u64;
+        let capacity = 3u64;
+        let threads = 7u64; // workers = thread_count() - 1
+        ordered_pipeline(
+            200,
+            capacity as usize,
+            |i| {
+                produced.fetch_add(1, Ordering::SeqCst);
+                i
+            },
+            |_, _| {
+                consumed += 1;
+                let in_flight = produced.load(Ordering::SeqCst) - consumed;
+                // Buffered items are capped at `capacity`; up to one
+                // more per worker may be mid-produce.
+                assert!(
+                    in_flight <= capacity + threads,
+                    "{in_flight} items outstanding"
+                );
+            },
+        );
+        set_threads(0);
+        assert_eq!(consumed, 200);
+    }
+
+    #[test]
+    fn stateful_fold_matches_sequential() {
+        let _guard = OVERRIDE_LOCK.lock();
+        // A deliberately order-sensitive fold: the warm-GPU shape.
+        let fold = |acc: u64, i: usize, v: u64| {
+            acc.rotate_left((i % 13) as u32) ^ v
+        };
+        set_threads(1);
+        let mut expect = 0u64;
+        ordered_pipeline(500, 8, |i| i as u64 * 31, |i, v| expect = fold(expect, i, v));
+        set_threads(6);
+        let mut got = 0u64;
+        ordered_pipeline(500, 8, |i| i as u64 * 31, |i, v| got = fold(got, i, v));
+        set_threads(0);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn tiny_inputs_and_capacities_work() {
+        let _guard = OVERRIDE_LOCK.lock();
+        set_threads(4);
+        assert_eq!(collect(0, 4), Vec::<u64>::new());
+        assert_eq!(collect(1, 4).len(), 1);
+        assert_eq!(collect(64, 1).len(), 64); // capacity 1: lock-step
+        set_threads(0);
+    }
+
+    #[test]
+    fn nested_inside_pool_runs_inline() {
+        let _guard = OVERRIDE_LOCK.lock();
+        set_threads(4);
+        let out = crate::par_map_range(4, |i| {
+            let mut inner = Vec::new();
+            ordered_pipeline(5, 2, |j| i * 10 + j, |_, v| inner.push(v));
+            inner
+        });
+        set_threads(0);
+        for (i, inner) in out.iter().enumerate() {
+            assert_eq!(*inner, (0..5).map(|j| i * 10 + j).collect::<Vec<_>>());
+        }
+    }
+}

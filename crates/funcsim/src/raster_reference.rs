@@ -72,7 +72,7 @@ pub fn render_frame_reference(
         viewport,
         geometry: transformed.into_iter().map(|t| t.geometry).collect(),
         tiles,
-        activity,
+        activity: std::sync::Arc::new(activity),
     }
 }
 
@@ -452,7 +452,7 @@ mod tests {
             // The activity-only pass must agree too (it takes different
             // fast paths through the sink machinery).
             let fast = Renderer::new(config).frame_activity(frame, &t);
-            assert_eq!(fast, reference.activity, "{mode:?} fast activity");
+            assert_eq!(fast, *reference.activity, "{mode:?} fast activity");
         }
     }
 

@@ -3,6 +3,7 @@
 //! [`FrameTrace`] for the timing model.
 
 use std::cell::RefCell;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -95,7 +96,7 @@ impl Renderer {
     /// activity counters (the paper's "fast functional simulation" that
     /// feeds MEGsim, §III-B).
     pub fn frame_activity(&self, frame: &Frame, shaders: &ShaderTable) -> FrameActivity {
-        self.render(frame, shaders, false).activity
+        unwrap_activity(self.render(frame, shaders, false).activity)
     }
 
     /// [`Self::render_frame`] with caller-owned scratch, for callers
@@ -116,7 +117,7 @@ impl Renderer {
         shaders: &ShaderTable,
         scratch: &mut RasterScratch,
     ) -> FrameActivity {
-        self.render_with(frame, shaders, false, scratch).activity
+        unwrap_activity(self.render_with(frame, shaders, false, scratch).activity)
     }
 
     fn render(&self, frame: &Frame, shaders: &ShaderTable, collect_trace: bool) -> FrameTrace {
@@ -173,9 +174,15 @@ impl Renderer {
             viewport,
             geometry: transformed.into_iter().map(|t| t.geometry).collect(),
             tiles,
-            activity,
+            activity: Arc::new(activity),
         }
     }
+}
+
+/// Takes the activity out of a freshly rendered trace's `Arc` without a
+/// deep copy (the renderer holds the only handle at this point).
+fn unwrap_activity(activity: Arc<FrameActivity>) -> FrameActivity {
+    Arc::try_unwrap(activity).unwrap_or_else(|shared| (*shared).clone())
 }
 
 #[cfg(test)]
@@ -259,7 +266,7 @@ mod tests {
             let t = shaders();
             let full = r.render_frame(&frame, &t);
             let fast = r.frame_activity(&frame, &t);
-            assert_eq!(full.activity, fast, "{mode:?}");
+            assert_eq!(*full.activity, fast, "{mode:?}");
         }
     }
 

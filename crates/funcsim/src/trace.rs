@@ -2,6 +2,8 @@
 //! cycle-level timing model — the equivalent of TEAPOT's "GPU trace"
 //! produced by its instrumented Softpipe renderer.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use megsim_gfx::draw::{BlendMode, Viewport};
@@ -102,8 +104,12 @@ pub struct FrameTrace {
     pub geometry: Vec<DrawGeometry>,
     /// Non-empty tiles in row-major order.
     pub tiles: Vec<TileTrace>,
-    /// Aggregate activity counters of the frame.
-    pub activity: FrameActivity,
+    /// Aggregate activity counters of the frame, shared by reference:
+    /// the timing model's [`FrameStats`] keeps a handle to the same
+    /// allocation instead of deep-cloning the per-shader vectors.
+    ///
+    /// [`FrameStats`]: https://docs.rs/megsim-timing
+    pub activity: Arc<FrameActivity>,
 }
 
 impl FrameTrace {

@@ -5,6 +5,15 @@
 //! banks and access latency. The model is *functional + counting*: it
 //! tracks hit/miss/writeback behaviour exactly, while latency is consumed
 //! by the timing crate.
+//!
+//! The hot path is built for the address streams the timing model
+//! produces: tags, LRU stamps and valid/dirty flags live in separate
+//! way-compact arrays (the hit scan touches only tags and flags), the
+//! tag shift is precomputed at construction, and [`Cache::access_run`]
+//! services a streak of same-line accesses with a single tag lookup
+//! plus replayed tick/stat bookkeeping. The pre-optimization
+//! implementation is retained in [`crate::cache_reference`] and pinned
+//! bit-for-bit by proptests there.
 
 use serde::{Deserialize, Serialize};
 
@@ -105,15 +114,6 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy, Default)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    /// Monotonic counter value of the last touch (for LRU).
-    last_use: u64,
-}
-
 /// Result of one cache access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheAccess {
@@ -123,14 +123,25 @@ pub struct CacheAccess {
     pub writeback: Option<u64>,
 }
 
+const FLAG_VALID: u8 = 0b01;
+const FLAG_DIRTY: u8 = 0b10;
+
 /// A set-associative write-back, write-allocate cache.
+///
+/// Line state is stored way-compact (structure-of-arrays): the hit scan
+/// walks `ways` consecutive tags + flags, the LRU stamps are touched
+/// only on the selected way.
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    lines: Vec<Line>,
+    tags: Vec<u64>,
+    last_use: Vec<u64>,
+    flags: Vec<u8>,
     tick: u64,
     stats: CacheStats,
     set_mask: u64,
+    /// Precomputed `set_mask.count_ones()` — the tag shift.
+    set_shift: u32,
     line_shift: u32,
 }
 
@@ -138,12 +149,16 @@ impl Cache {
     /// Builds a cold cache from its configuration.
     pub fn new(config: CacheConfig) -> Self {
         let sets = config.sets();
-        let lines = vec![Line::default(); (sets * u64::from(config.ways)) as usize];
+        let lines = (sets * u64::from(config.ways)) as usize;
         let line_shift = config.line_size.trailing_zeros();
+        let set_mask = sets - 1;
         Self {
-            set_mask: sets - 1,
+            set_mask,
+            set_shift: set_mask.count_ones(),
             line_shift,
-            lines,
+            tags: vec![0; lines],
+            last_use: vec![0; lines],
+            flags: vec![0; lines],
             tick: 0,
             stats: CacheStats::default(),
             config,
@@ -171,59 +186,105 @@ impl Cache {
         ((addr >> self.line_shift) % u64::from(self.config.banks)) as u32
     }
 
+    /// Line address (cache-line index) of `addr` — two addresses with
+    /// equal line addresses can be serviced as one [`Cache::access_run`].
+    pub fn line_addr(&self, addr: u64) -> u64 {
+        addr >> self.line_shift
+    }
+
     /// Accesses `addr`; returns hit/miss and any writeback generated.
+    #[inline]
     pub fn access(&mut self, addr: u64, is_write: bool) -> CacheAccess {
-        self.tick += 1;
+        self.access_run(addr, is_write, 1)
+    }
+
+    /// Services `count` back-to-back accesses that all fall on the line
+    /// of `addr` with a single tag lookup, replaying the tick and stat
+    /// bookkeeping of the equivalent scalar [`Cache::access`] loop
+    /// bit-for-bit.
+    ///
+    /// The returned [`CacheAccess`] describes the **first** access of
+    /// the run; the remaining `count - 1` are hits by construction
+    /// (the first access leaves the line resident and most recently
+    /// used, and nothing else touches the cache inside the run), so
+    /// callers charge them the hit latency with no memory traffic.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `count` is zero.
+    #[inline]
+    pub fn access_run(&mut self, addr: u64, is_write: bool, count: u64) -> CacheAccess {
+        debug_assert!(count >= 1, "a run needs at least one access");
+        // Scalar replay: each access bumps the tick and re-stamps the
+        // line, so the run leaves tick advanced by `count` and the line
+        // stamped with the final value.
+        self.tick += count;
         if is_write {
-            self.stats.writes += 1;
+            self.stats.writes += count;
         } else {
-            self.stats.reads += 1;
+            self.stats.reads += count;
         }
         let line_addr = addr >> self.line_shift;
         let set = (line_addr & self.set_mask) as usize;
-        let tag = line_addr >> self.set_mask.count_ones();
+        let tag = line_addr >> self.set_shift;
         let ways = self.config.ways as usize;
         let base = set * ways;
-        // Hit path.
-        for way in 0..ways {
-            let line = &mut self.lines[base + way];
-            if line.valid && line.tag == tag {
-                line.last_use = self.tick;
-                line.dirty |= is_write;
-                self.stats.hits += 1;
-                return CacheAccess {
-                    hit: true,
-                    writeback: None,
-                };
+        let dirty_bit = if is_write { FLAG_DIRTY } else { 0 };
+        // Hit probe. The dominant 2-way shape is resolved branchlessly:
+        // which way hit is close to a coin flip in steady state, so a
+        // branch-per-way scan eats a mispredict on almost every lookup.
+        // At most one way can match (a line is filled only after a whole-
+        // set miss), so the hit way is the sum of per-way match masks.
+        let hit_way = if ways == 2 {
+            let m0 = self.flags[base] & FLAG_VALID != 0 && self.tags[base] == tag;
+            let m1 = self.flags[base + 1] & FLAG_VALID != 0 && self.tags[base + 1] == tag;
+            if m0 | m1 {
+                Some(base + m1 as usize)
+            } else {
+                None
             }
+        } else {
+            let set_tags = &self.tags[base..base + ways];
+            let set_flags = &self.flags[base..base + ways];
+            set_tags
+                .iter()
+                .zip(set_flags)
+                .position(|(&t, &f)| f & FLAG_VALID != 0 && t == tag)
+                .map(|w| base + w)
+        };
+        if let Some(way) = hit_way {
+            self.last_use[way] = self.tick;
+            self.flags[way] |= dirty_bit;
+            self.stats.hits += count;
+            return CacheAccess {
+                hit: true,
+                writeback: None,
+            };
         }
-        // Miss: find victim (invalid first, else LRU).
+        // Miss (first access only): find victim (invalid first, else LRU).
         self.stats.misses += 1;
+        self.stats.hits += count - 1;
         let mut victim = base;
-        for way in 0..ways {
-            let line = &self.lines[base + way];
-            if !line.valid {
-                victim = base + way;
+        for way in base..base + ways {
+            if self.flags[way] & FLAG_VALID == 0 {
+                victim = way;
                 break;
             }
-            if line.last_use < self.lines[victim].last_use {
-                victim = base + way;
+            if self.last_use[way] < self.last_use[victim] {
+                victim = way;
             }
         }
-        let evicted = self.lines[victim];
-        let writeback = if evicted.valid && evicted.dirty {
+        let evicted_flags = self.flags[victim];
+        let writeback = if evicted_flags & FLAG_VALID != 0 && evicted_flags & FLAG_DIRTY != 0 {
             self.stats.writebacks += 1;
-            let victim_line = (evicted.tag << self.set_mask.count_ones()) | set as u64;
+            let victim_line = (self.tags[victim] << self.set_shift) | set as u64;
             Some(victim_line << self.line_shift)
         } else {
             None
         };
-        self.lines[victim] = Line {
-            tag,
-            valid: true,
-            dirty: is_write,
-            last_use: self.tick,
-        };
+        self.tags[victim] = tag;
+        self.flags[victim] = FLAG_VALID | dirty_bit;
+        self.last_use[victim] = self.tick;
         CacheAccess {
             hit: false,
             writeback,
@@ -234,11 +295,13 @@ impl Cache {
     /// the number of writebacks produced (end-of-frame flush).
     pub fn flush(&mut self) -> u64 {
         let mut wb = 0;
-        for line in &mut self.lines {
-            if line.valid && line.dirty {
+        for i in 0..self.flags.len() {
+            if self.flags[i] & (FLAG_VALID | FLAG_DIRTY) == FLAG_VALID | FLAG_DIRTY {
                 wb += 1;
             }
-            *line = Line::default();
+            self.tags[i] = 0;
+            self.last_use[i] = 0;
+            self.flags[i] = 0;
         }
         self.stats.writebacks += wb;
         wb
@@ -331,5 +394,47 @@ mod tests {
         c.access(0, false);
         c.access(0, false);
         assert!((c.stats().miss_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn line_addr_groups_by_line() {
+        let c = tiny();
+        assert_eq!(c.line_addr(0x00), c.line_addr(0x3f));
+        assert_ne!(c.line_addr(0x3f), c.line_addr(0x40));
+    }
+
+    #[test]
+    fn access_run_equals_scalar_loop() {
+        // A run over a cold line: 1 miss + (count-1) hits, end state
+        // identical to the scalar loop on a twin cache.
+        let mut run = tiny();
+        let mut scalar = tiny();
+        let first = run.access_run(0x80, true, 4);
+        let mut scalar_first = None;
+        for i in 0..4 {
+            let a = scalar.access(0x80 + i * 8, true);
+            if i == 0 {
+                scalar_first = Some(a);
+            }
+        }
+        assert_eq!(Some(first), scalar_first);
+        assert_eq!(run.stats(), scalar.stats());
+        // Same LRU outcome afterwards.
+        run.access(0x000, false);
+        run.access(0x100, false);
+        scalar.access(0x000, false);
+        scalar.access(0x100, false);
+        assert_eq!(run.access(0x200, false), scalar.access(0x200, false));
+    }
+
+    #[test]
+    fn access_run_on_resident_line_is_all_hits() {
+        let mut c = tiny();
+        c.access(0x40, false);
+        let a = c.access_run(0x40, false, 5);
+        assert!(a.hit);
+        assert_eq!(c.stats().hits, 5);
+        assert_eq!(c.stats().misses, 1);
+        assert_eq!(c.stats().reads, 6);
     }
 }

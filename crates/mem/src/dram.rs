@@ -109,10 +109,46 @@ pub struct DramAccess {
     pub row_hit: bool,
 }
 
+/// Precomputed address decomposition. When the line size, bank count and
+/// row span are all powers of two (every shipped configuration), the
+/// divide/modulo chain in [`Dram::bank_and_row`] reduces to shifts and a
+/// mask with bit-identical results; otherwise the division form is kept.
+#[derive(Debug, Clone, Copy)]
+enum AddrMap {
+    /// `line = addr >> line_shift`, `bank = line & bank_mask`,
+    /// `row = addr >> row_shift`.
+    Shift {
+        line_shift: u32,
+        bank_mask: u64,
+        row_shift: u32,
+    },
+    /// General divide/modulo decomposition for non-power-of-two geometry.
+    Divide,
+}
+
+impl AddrMap {
+    fn for_config(config: &DramConfig) -> Self {
+        let banks = u64::from(config.banks);
+        let row_span = config.row_bytes * banks;
+        if config.line_size.is_power_of_two() && banks.is_power_of_two() && row_span.is_power_of_two()
+        {
+            Self::Shift {
+                line_shift: config.line_size.trailing_zeros(),
+                bank_mask: banks - 1,
+                row_shift: row_span.trailing_zeros(),
+            }
+        } else {
+            Self::Divide
+        }
+    }
+}
+
 /// The banked DRAM device.
 #[derive(Debug, Clone)]
 pub struct Dram {
     config: DramConfig,
+    addr_map: AddrMap,
+    transfer: u64,
     banks: Vec<Bank>,
     bus_free_at: u64,
     stats: DramStats,
@@ -123,6 +159,8 @@ impl Dram {
     pub fn new(config: DramConfig) -> Self {
         Self {
             banks: vec![Bank::default(); config.banks as usize],
+            addr_map: AddrMap::for_config(&config),
+            transfer: config.transfer_cycles(),
             bus_free_at: 0,
             stats: DramStats::default(),
             config,
@@ -144,14 +182,25 @@ impl Dram {
         self.stats = DramStats::default();
     }
 
+    #[inline]
     fn bank_and_row(&self, addr: u64) -> (usize, u64) {
-        let line = addr / self.config.line_size;
-        let bank = (line % u64::from(self.config.banks)) as usize;
-        let row = addr / (self.config.row_bytes * u64::from(self.config.banks));
-        (bank, row)
+        match self.addr_map {
+            AddrMap::Shift {
+                line_shift,
+                bank_mask,
+                row_shift,
+            } => (((addr >> line_shift) & bank_mask) as usize, addr >> row_shift),
+            AddrMap::Divide => {
+                let line = addr / self.config.line_size;
+                let bank = (line % u64::from(self.config.banks)) as usize;
+                let row = addr / (self.config.row_bytes * u64::from(self.config.banks));
+                (bank, row)
+            }
+        }
     }
 
     /// Performs one line-sized access starting no earlier than `now`.
+    #[inline]
     pub fn access(&mut self, addr: u64, now: u64, is_write: bool) -> DramAccess {
         let (bank_idx, row) = self.bank_and_row(addr);
         let bank = &mut self.banks[bank_idx];
@@ -165,7 +214,7 @@ impl Dram {
         // bus only for the burst transfer. Banks pipeline behind each
         // other, so concurrent accesses to different banks overlap.
         let start = now.max(bank.busy_until);
-        let transfer = self.config.transfer_cycles();
+        let transfer = self.transfer;
         let bus_start = (start + latency_core).max(self.bus_free_at);
         let ready_at = bus_start + transfer;
         bank.open_row = Some(row);
@@ -188,6 +237,44 @@ impl Dram {
             row_hit,
         }
     }
+
+    /// Services `count` back-to-back accesses to `addr`, all issued at
+    /// cycle `now`, replaying the scalar loop bit-for-bit.
+    ///
+    /// After the first access the row is open and nothing closes it
+    /// inside the run, so accesses `2..=count` are guaranteed row hits;
+    /// their bank/bus serialization is replayed without re-deriving the
+    /// bank, row or hit/miss branch. Returns the **last** access's
+    /// result (the cycle the whole streak drains).
+    pub fn access_run(&mut self, addr: u64, now: u64, is_write: bool, count: u64) -> DramAccess {
+        debug_assert!(count >= 1, "a run needs at least one access");
+        let first = self.access(addr, now, is_write);
+        if count == 1 {
+            return first;
+        }
+        let (bank_idx, _) = self.bank_and_row(addr);
+        let transfer = self.transfer;
+        let hit_latency = self.config.row_hit_latency;
+        let bank = &mut self.banks[bank_idx];
+        for _ in 1..count {
+            let start = now.max(bank.busy_until);
+            let bus_start = (start + hit_latency).max(self.bus_free_at);
+            bank.busy_until = bus_start;
+            self.bus_free_at = bus_start + transfer;
+        }
+        if is_write {
+            self.stats.writes += count - 1;
+        } else {
+            self.stats.reads += count - 1;
+        }
+        self.stats.row_hits += count - 1;
+        self.stats.bus_busy_cycles += transfer * (count - 1);
+        DramAccess {
+            ready_at: self.bus_free_at,
+            latency: self.bus_free_at - now,
+            row_hit: true,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -202,6 +289,25 @@ mod tests {
         assert_eq!(c.line_size, 64);
         assert_eq!(c.transfer_cycles(), 16);
         assert_eq!((c.row_hit_latency, c.row_miss_latency), (50, 100));
+    }
+
+    #[test]
+    fn shift_decomposition_matches_divide_form() {
+        let config = DramConfig::lpddr3_baseline();
+        let d = Dram::new(config);
+        assert!(matches!(d.addr_map, AddrMap::Shift { .. }));
+        for addr in (0u64..1 << 20).step_by(37) {
+            let line = addr / config.line_size;
+            let bank = (line % u64::from(config.banks)) as usize;
+            let row = addr / (config.row_bytes * u64::from(config.banks));
+            assert_eq!(d.bank_and_row(addr), (bank, row));
+        }
+        // Non-power-of-two geometry keeps the general divide form.
+        let odd = DramConfig {
+            banks: 6,
+            ..config
+        };
+        assert!(matches!(Dram::new(odd).addr_map, AddrMap::Divide));
     }
 
     #[test]
@@ -245,6 +351,39 @@ mod tests {
         assert_eq!(d.stats().writes, 1);
         assert_eq!(d.stats().accesses(), 2);
         assert_eq!(d.stats().bus_busy_cycles, 32);
+    }
+
+    #[test]
+    fn access_run_matches_scalar_loop() {
+        let mut run = Dram::new(DramConfig::default());
+        let mut scalar = Dram::new(DramConfig::default());
+        // Warm up one bank so the run starts on an open row.
+        run.access(0, 0, false);
+        scalar.access(0, 0, false);
+        let a = run.access_run(8 * 64, 500, true, 5);
+        let mut last = None;
+        for _ in 0..5 {
+            last = Some(scalar.access(8 * 64, 500, true));
+        }
+        assert_eq!(Some(a), last);
+        assert_eq!(run.stats(), scalar.stats());
+        // State converged: the next access agrees too.
+        assert_eq!(run.access(64, 2000, false), scalar.access(64, 2000, false));
+    }
+
+    #[test]
+    fn access_run_cold_row_misses_once() {
+        let mut run = Dram::new(DramConfig::default());
+        let mut scalar = Dram::new(DramConfig::default());
+        let a = run.access_run(0, 0, false, 3);
+        let mut last = None;
+        for _ in 0..3 {
+            last = Some(scalar.access(0, 0, false));
+        }
+        assert_eq!(Some(a), last);
+        assert_eq!(run.stats().row_misses, 1);
+        assert_eq!(run.stats().row_hits, 2);
+        assert_eq!(run.stats(), scalar.stats());
     }
 
     #[test]

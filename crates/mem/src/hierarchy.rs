@@ -64,9 +64,29 @@ impl MemoryHierarchy {
 
     /// Accesses `addr` through the L2; on a miss the line is fetched from
     /// DRAM and any dirty victim is written back.
+    #[inline]
     pub fn access(&mut self, addr: u64, now: u64, is_write: bool) -> HierarchyAccess {
+        self.access_run(addr, now, is_write, 1)
+    }
+
+    /// Services `count` back-to-back accesses to the line of `addr`, all
+    /// issued at cycle `now`, with a single L2 lookup.
+    ///
+    /// Bit-identical to the scalar loop: only the first access can miss
+    /// (and go to DRAM); the remaining `count - 1` are L2 hits because
+    /// the first access leaves the line resident and most recently used
+    /// and nothing else touches the L2 inside the run. The returned
+    /// [`HierarchyAccess`] describes the **first** access; the tail
+    /// accesses each observe the plain L2 hit latency.
+    pub fn access_run(
+        &mut self,
+        addr: u64,
+        now: u64,
+        is_write: bool,
+        count: u64,
+    ) -> HierarchyAccess {
         let l2_latency = self.l2.config().latency;
-        let result = self.l2.access(addr, is_write);
+        let result = self.l2.access_run(addr, is_write, count);
         if result.hit {
             return HierarchyAccess {
                 ready_at: now + l2_latency,
@@ -87,24 +107,14 @@ impl MemoryHierarchy {
         }
     }
 
-    /// Writes a full line, bypassing allocation (streaming stores used by
-    /// the tile flush); the line goes straight to DRAM through the L2
-    /// write path and is counted as an L2 access.
-    pub fn write_through(&mut self, addr: u64, now: u64) -> HierarchyAccess {
-        // Counted as an L2 write access, then forwarded to DRAM.
-        let res = self.l2.access(addr, true);
-        if let Some(victim) = res.writeback {
-            self.dram.access(victim, now, true);
-        }
-        let w = self.dram.access(addr, now, true);
-        HierarchyAccess {
-            ready_at: w.ready_at,
-            latency: w.latency,
-            l2_hit: res.hit,
-        }
+    /// Hit latency of the L2 (used by units that charge the tail of an
+    /// access run without re-querying the hierarchy).
+    pub fn l2_latency(&self) -> u64 {
+        self.l2.config().latency
     }
 
-    /// Flushes the L2, writing dirty lines to DRAM (device idle time).
+    /// Flushes the L2, writing dirty lines to DRAM (device idle time at
+    /// the end of a warm sequence). Returns the number of writebacks.
     pub fn flush_l2(&mut self) -> u64 {
         self.l2.flush()
     }
@@ -168,12 +178,29 @@ mod tests {
     }
 
     #[test]
-    fn write_through_always_reaches_dram() {
-        let mut h = tiny();
-        h.write_through(0x40, 0);
-        h.write_through(0x40, 100);
-        assert_eq!(h.stats().dram.writes, 2);
-        assert_eq!(h.stats().l2.writes, 2);
+    fn access_run_matches_scalar_loop() {
+        let mut run = tiny();
+        let mut scalar = tiny();
+        // Cold line: miss + 3 hits.
+        let a = run.access_run(0x80, 0, false, 4);
+        let mut first = None;
+        for k in 0..4 {
+            let b = scalar.access(0x80 + k * 8, 0, false);
+            if k == 0 {
+                first = Some(b);
+            } else {
+                assert!(b.l2_hit);
+            }
+        }
+        assert_eq!(Some(a), first);
+        assert_eq!(run.stats(), scalar.stats());
+        // Warm line: all hits.
+        let a = run.access_run(0x80, 1000, true, 3);
+        let b = scalar.access(0x80, 1000, true);
+        scalar.access(0x90, 1000, true);
+        scalar.access(0xa0, 1000, true);
+        assert_eq!(a, b);
+        assert_eq!(run.stats(), scalar.stats());
     }
 
     #[test]

@@ -23,10 +23,18 @@
 
 pub mod addr;
 pub mod cache;
+#[cfg(any(test, feature = "reference"))]
+pub mod cache_reference;
 pub mod dram;
 pub mod hierarchy;
+#[cfg(any(test, feature = "reference"))]
+pub mod hierarchy_reference;
 
 pub use addr::AddressSpace;
 pub use cache::{Cache, CacheAccess, CacheConfig, CacheStats};
+#[cfg(any(test, feature = "reference"))]
+pub use cache_reference::ReferenceCache;
+#[cfg(any(test, feature = "reference"))]
+pub use hierarchy_reference::{ReferenceDram, ReferenceMemoryHierarchy};
 pub use dram::{Dram, DramAccess, DramConfig, DramStats};
 pub use hierarchy::{HierarchyAccess, MemoryHierarchy, MemoryStats};

@@ -236,7 +236,7 @@ mod tests {
     fn stats_with(activity: FrameActivity, tile_accesses: u64) -> FrameStats {
         // tile_accesses should be of the same order as bin entries.
         let mut s = FrameStats {
-            activity,
+            activity: std::sync::Arc::new(activity),
             ..FrameStats::default()
         };
         s.tile_cache.reads = tile_accesses;

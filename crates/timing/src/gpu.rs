@@ -15,14 +15,49 @@
 //!    final colors to the frame buffer overlaps the next tile's work
 //!    (double-buffered on-chip tile memory), so the phase is the maximum
 //!    of accumulated tile work and accumulated flush traffic.
+//!
+//! # The fast path
+//!
+//! This implementation services the address streams the units produce
+//! in **same-line runs**: sequential vertex fetches, polygon-list
+//! entries (four 16-byte entries per 64-byte line) and texel
+//! footprints mostly land on the line of their predecessor, so each
+//! run costs one tag lookup ([`Cache::access_run`]) plus closed-form
+//! clock bookkeeping instead of per-access probes. Coalescing is
+//! bit-safe because the first access of a run leaves its line resident
+//! and most recently used while nothing else touches that cache before
+//! the run ends — the remaining accesses are hits by construction and
+//! hits never generate memory traffic, so every cycle count, stat,
+//! LRU and row-buffer decision matches the scalar model. Per-tile and
+//! per-fragment heap allocation is eliminated by [`TimingScratch`],
+//! and texture samplers are memoized per primitive
+//! ([`megsim_gfx::texture::TextureDesc::lod_sampler`]). The
+//! pre-optimization model is retained in [`crate::timing_reference`]
+//! and pinned bit-for-bit by proptests there.
 
 use megsim_funcsim::{FrameTrace, RenderMode};
 use megsim_gfx::math::Vec2;
-use megsim_gfx::shader::{ShaderTable, TextureFilter};
+use megsim_gfx::shader::ShaderTable;
+use megsim_gfx::texture::LodSampler;
 use megsim_mem::{AddressSpace, Cache, MemoryHierarchy};
 
 use crate::config::GpuConfig;
 use crate::stats::{FrameStats, UnitBusy};
+
+/// Reusable buffers of the raster phase. Owned by the [`Gpu`] so that
+/// steady-state frame simulation performs no heap allocation: per-FP
+/// clocks are zeroed per tile, sample addresses and per-primitive
+/// samplers are cleared in place.
+#[derive(Debug, Default)]
+struct TimingScratch {
+    /// Per-FP ALU clocks (one slot per Fragment Processor).
+    fp_clock: Vec<u64>,
+    /// Per-FP texture-pipe clocks.
+    tex_clock: Vec<u64>,
+    /// Memoized samplers of the primitive currently being shaded
+    /// (one per texture-sampling shader instruction).
+    samplers: Vec<LodSampler>,
+}
 
 /// The simulated GPU. Caches and DRAM state persist across frames
 /// (warm-cache simulation), while statistics are attributed per frame.
@@ -36,7 +71,7 @@ pub struct Gpu {
     /// Monotonic global cycle counter across the whole simulation.
     now: u64,
     frame_index: u64,
-    scratch_addrs: Vec<u64>,
+    scratch: TimingScratch,
 }
 
 impl Gpu {
@@ -51,7 +86,7 @@ impl Gpu {
             memory: MemoryHierarchy::new(config.l2.clone(), config.dram),
             now: 0,
             frame_index: 0,
-            scratch_addrs: Vec::with_capacity(8),
+            scratch: TimingScratch::default(),
             config,
         }
     }
@@ -64,6 +99,14 @@ impl Gpu {
     /// Global cycle count since construction.
     pub fn now(&self) -> u64 {
         self.now
+    }
+
+    /// Writes back every dirty line of the shared L2 (device idle time
+    /// at the end of a warm sequence) and returns the number of
+    /// writebacks produced. The caller attributes them to the last
+    /// simulated frame's L2 counters.
+    pub fn drain_l2(&mut self) -> u64 {
+        self.memory.flush_l2()
     }
 
     /// Simulates one frame from its functional trace.
@@ -85,8 +128,7 @@ impl Gpu {
         let geometry_cycles = self.geometry_phase(trace, frame_start, &mut unit_busy);
         let (raster_cycles, color_accesses, depth_accesses) =
             self.raster_phase(trace, shaders, frame_start + geometry_cycles, &mut unit_busy);
-        let cycles =
-            geometry_cycles + raster_cycles + self.config.frame_overhead_cycles;
+        let cycles = geometry_cycles + raster_cycles + self.config.frame_overhead_cycles;
         self.now = frame_start + cycles;
         self.frame_index += 1;
 
@@ -105,7 +147,9 @@ impl Gpu {
             memory: self.memory.stats(),
             color_buffer_accesses: color_accesses,
             depth_buffer_accesses: depth_accesses,
-            activity: trace.activity.clone(),
+            // Shared by reference with the trace — no deep clone of the
+            // per-shader counter vectors.
+            activity: std::sync::Arc::clone(&trace.activity),
             unit_busy,
         }
     }
@@ -113,48 +157,76 @@ impl Gpu {
     /// Geometry Pipeline + Tiling Engine. Returns the phase duration.
     fn geometry_phase(&mut self, trace: &FrameTrace, base: u64, busy: &mut UnitBusy) -> u64 {
         let cfg = &self.config;
+        let vc_latency = cfg.vertex_cache.latency;
+        let vc_shift = cfg.vertex_cache.line_size.trailing_zeros();
         // Unit clocks, relative to `base`.
         let mut vf_clock = 0u64; // Vertex Fetcher (in-order, blocking)
         let mut vp_busy = 0u64; // total VP work, spread over the array
         let mut pa_clock = 0u64; // Primitive Assembly
         for draw in &trace.geometry {
             // Vertex Fetcher: one vertex per cycle; a vertex-cache miss
-            // blocks the fetcher for the refill latency.
-            for &addr in &draw.vertex_fetch_addresses {
+            // blocks the fetcher for the refill latency. Sequential
+            // vertices usually share a line: a run of `count` same-line
+            // fetches costs one lookup; the `count - 1` guaranteed hits
+            // each occupy the fetcher for `1 + latency` cycles.
+            let addrs = &draw.vertex_fetch_addresses;
+            let mut i = 0;
+            while i < addrs.len() {
+                let addr = addrs[i];
+                let line = addr >> vc_shift;
+                let mut j = i + 1;
+                while j < addrs.len() && addrs[j] >> vc_shift == line {
+                    j += 1;
+                }
+                let count = (j - i) as u64;
                 vf_clock += 1;
-                let acc = self.vertex_cache.access(addr, false);
+                let acc = self.vertex_cache.access_run(addr, false, count);
                 if let Some(wb) = acc.writeback {
                     self.memory.access(wb, base + vf_clock, true);
                 }
                 if acc.hit {
-                    vf_clock += self.vertex_cache.config().latency;
+                    vf_clock += vc_latency;
                 } else {
                     let fill = self.memory.access(addr, base + vf_clock, false);
                     vf_clock += fill.latency;
                 }
+                vf_clock += (count - 1) * (1 + vc_latency);
+                i = j;
             }
             // Vertex Processors: scalar, one instruction per cycle.
-            vp_busy += u64::from(draw.vertices_shaded)
-                * u64::from(draw.vertex_shader_instructions);
+            vp_busy +=
+                u64::from(draw.vertices_shaded) * u64::from(draw.vertex_shader_instructions);
             // Primitive Assembly consumes one vertex per cycle.
-            pa_clock += u64::from(draw.vertices_shaded)
-                * cfg.prim_assembly_cycles_per_vertex;
+            pa_clock += u64::from(draw.vertices_shaded) * cfg.prim_assembly_cycles_per_vertex;
         }
-        let vp_clock =
-            vp_busy.div_ceil(cfg.vertex_processors as u64 * cfg.vertex_issue_width);
+        let vp_clock = vp_busy.div_ceil(cfg.vertex_processors as u64 * cfg.vertex_issue_width);
 
         // Polygon List Builder: one list entry per primitive-tile pair,
-        // written through the Tile cache. Immediate-mode rendering has
-        // no Tiling Engine at all.
+        // written through the Tile cache (four 16-byte entries per
+        // line, serviced as runs). Immediate-mode rendering has no
+        // Tiling Engine at all.
+        let tc_latency = cfg.tile_cache.latency;
+        let tc_shift = cfg.tile_cache.line_size.trailing_zeros();
+        let plb_window = cfg.plb_write_window;
         let mut plb_clock = 0u64;
         let mut traced_entries = 0u64;
         let tiling_tiles: &[megsim_funcsim::TileTrace] =
             if trace.mode == RenderMode::Immediate { &[] } else { &trace.tiles };
         for tile in tiling_tiles {
-            for (n, _prim) in tile.prims.iter().enumerate() {
-                let addr = AddressSpace::polygon_list_entry(tile.tile_index, n as u64);
+            let entries = tile.prims.len() as u64;
+            let mut n = 0u64;
+            while n < entries {
+                let addr = AddressSpace::polygon_list_entry(tile.tile_index, n);
+                let line = addr >> tc_shift;
+                let mut m = n + 1;
+                while m < entries
+                    && AddressSpace::polygon_list_entry(tile.tile_index, m) >> tc_shift == line
+                {
+                    m += 1;
+                }
+                let count = m - n;
                 plb_clock += 1;
-                let acc = self.tile_cache.access(addr, true);
+                let acc = self.tile_cache.access_run(addr, true, count);
                 if let Some(wb) = acc.writeback {
                     self.memory.access(wb, base + plb_clock, true);
                 }
@@ -163,12 +235,14 @@ impl Gpu {
                     // L2 latency of the fill before backpressure bites.
                     let fill = self.memory.access(addr, base + plb_clock, false);
                     let arrival = fill.ready_at.saturating_sub(base);
-                    plb_clock = (plb_clock + 1).max(arrival.saturating_sub(cfg.plb_write_window));
+                    plb_clock = (plb_clock + 1).max(arrival.saturating_sub(plb_window));
                 } else {
-                    plb_clock += self.tile_cache.config().latency;
+                    plb_clock += tc_latency;
                 }
-                traced_entries += 1;
+                plb_clock += (count - 1) * (1 + tc_latency);
+                n = m;
             }
+            traced_entries += entries;
         }
         // Bin entries whose primitives produced no fragments in a tile
         // do not appear in the trace; charge their occupancy.
@@ -195,6 +269,7 @@ impl Gpu {
         base: u64,
         busy: &mut UnitBusy,
     ) -> (u64, u64, u64) {
+        let mut scratch = std::mem::take(&mut self.scratch);
         let mut tile_work_clock = 0u64; // accumulated per-tile pipeline time
         let mut flush_clock = 0u64; // accumulated frame-buffer flush time
         let mut color_accesses = 0u64;
@@ -202,41 +277,91 @@ impl Gpu {
         let n_fp = self.config.fragment_processors as u64;
         let immediate = trace.mode == RenderMode::Immediate;
         let deferred = trace.mode == RenderMode::TileBasedDeferred;
+        let tc_latency = self.config.tile_cache.latency;
+        let tc_shift = self.config.tile_cache.line_size.trailing_zeros();
+        scratch.fp_clock.resize(n_fp as usize, 0);
+        scratch.tex_clock.resize(n_fp as usize, 0);
         for tile in &trace.tiles {
             let tile_base = base + tile_work_clock;
             // Polygon list read-back through the Tile cache (absent in
-            // immediate mode: there are no tile lists to read).
+            // immediate mode: there are no tile lists to read), as
+            // same-line runs like the PLB wrote it.
             let mut list_clock = 0u64;
-            let list_entries: &[megsim_funcsim::TilePrim] =
-                if immediate { &[] } else { &tile.prims };
-            for (n, _prim) in list_entries.iter().enumerate() {
-                let addr = AddressSpace::polygon_list_entry(tile.tile_index, n as u64);
+            let entries = if immediate { 0 } else { tile.prims.len() as u64 };
+            let mut n = 0u64;
+            while n < entries {
+                let addr = AddressSpace::polygon_list_entry(tile.tile_index, n);
+                let line = addr >> tc_shift;
+                let mut m = n + 1;
+                while m < entries
+                    && AddressSpace::polygon_list_entry(tile.tile_index, m) >> tc_shift == line
+                {
+                    m += 1;
+                }
+                let count = m - n;
                 list_clock += 1;
-                let acc = self.tile_cache.access(addr, false);
+                let acc = self.tile_cache.access_run(addr, false, count);
                 if let Some(wb) = acc.writeback {
                     self.memory.access(wb, tile_base + list_clock, true);
                 }
                 if acc.hit {
-                    list_clock += self.tile_cache.config().latency;
+                    list_clock += tc_latency;
                 } else {
                     let fill = self.memory.access(addr, tile_base + list_clock, false);
                     list_clock += fill.latency;
                 }
+                list_clock += (count - 1) * (1 + tc_latency);
+                n = m;
             }
             // Rasterizer / Early-Z / Fragment Processors / Blending.
             let mut raster_clock = 0u64;
             let mut earlyz_clock = 0u64;
-            let mut fp_clock = vec![0u64; n_fp as usize];
+            scratch.fp_clock.fill(0);
             // Decoupled texture units: each FP has a texture pipe that
             // runs in parallel with its ALU; the FP finishes when the
             // slower of the two does.
-            let mut tex_clock = vec![0u64; n_fp as usize];
+            scratch.tex_clock.fill(0);
             let mut blend_clock = 0u64;
             let mut visible_px = 0u64;
-            let mut quad_rr = 0u64; // round-robin quad distribution
+            // Round-robin quad distribution: a wrapping counter in place
+            // of the scalar path's `quad_count % n_fp` (same sequence,
+            // no per-quad division).
+            let mut fp_rr = 0usize;
+            let n_fp_us = n_fp as usize;
             for prim in &tile.prims {
                 let fs = shaders.fragment_shader(prim.fragment_shader);
                 let fs_instr = u64::from(fs.instruction_count());
+                // FP issue cost per visible-fragment count, hoisting the
+                // `div_ceil` out of the quad loop (vis is 1..=4).
+                let mut quad_cost = [0u64; 5];
+                for (v, cost) in quad_cost.iter_mut().enumerate().skip(1) {
+                    *cost = (v as u64 * fs_instr).div_ceil(self.config.fragment_issue_width);
+                }
+                // Memoize the prim's texture samplers once: the level
+                // clamp, mip-chain walk and wrap masks are fixed per
+                // (texture, filter, lod).
+                scratch.samplers.clear();
+                if let Some(texture) = prim.texture.as_ref() {
+                    for filter in &fs.texture_samples {
+                        scratch.samplers.push(texture.lod_sampler(*filter, prim.lod));
+                    }
+                }
+                let texel = scratch
+                    .samplers
+                    .first()
+                    .map(|s| s.texel_extent())
+                    .unwrap_or_default();
+                // The quad's four fragments sample at one-texel offsets
+                // (at the selected LOD): +x, +y, then both. Same values
+                // as `texel * (f % 2, f / 2)` — spelled as a per-prim
+                // table so the quad loop does no integer-to-float
+                // conversion.
+                let offsets = [
+                    Vec2::new(0.0, 0.0),
+                    Vec2::new(texel.x, 0.0),
+                    Vec2::new(0.0, texel.y),
+                    Vec2::new(texel.x, texel.y),
+                ];
                 raster_clock += prim.quads.len() as u64
                     * u64::from(prim.attributes)
                     * self.config.rasterizer_cycles_per_attribute;
@@ -262,21 +387,26 @@ impl Gpu {
                     }
                     let vis = u64::from(quad.visible_count());
                     if vis == 0 {
-                        quad_rr += 1;
+                        fp_rr += 1;
+                        if fp_rr == n_fp_us {
+                            fp_rr = 0;
+                        }
                         continue;
                     }
-                    let fp = (quad_rr % n_fp) as usize;
-                    quad_rr += 1;
-                    fp_clock[fp] += (vis * fs_instr).div_ceil(self.config.fragment_issue_width);
+                    let fp = fp_rr;
+                    fp_rr += 1;
+                    if fp_rr == n_fp_us {
+                        fp_rr = 0;
+                    }
+                    scratch.fp_clock[fp] += quad_cost[vis as usize];
                     self.sample_textures(
-                        prim.texture.as_ref(),
-                        &fs.texture_samples,
-                        prim.lod,
+                        &offsets,
                         quad.uv,
                         vis,
                         fp,
                         base + tile_work_clock,
-                        &mut tex_clock,
+                        &scratch.samplers,
+                        &mut scratch.tex_clock,
                     );
                     // Blending Unit: one fragment per cycle. TBR blends
                     // against the on-chip color buffer; IMR reads and
@@ -302,12 +432,13 @@ impl Gpu {
                     visible_px += vis;
                 }
             }
-            let fp_alu_max = fp_clock.iter().copied().max().unwrap_or(0);
-            let tex_max = tex_clock.iter().copied().max().unwrap_or(0);
-            let fp_max = fp_clock
-                .into_iter()
-                .zip(tex_clock)
-                .map(|(alu, tex)| alu.max(tex))
+            let fp_alu_max = scratch.fp_clock.iter().copied().max().unwrap_or(0);
+            let tex_max = scratch.tex_clock.iter().copied().max().unwrap_or(0);
+            let fp_max = scratch
+                .fp_clock
+                .iter()
+                .zip(&scratch.tex_clock)
+                .map(|(&alu, &tex)| alu.max(tex))
                 .max()
                 .unwrap_or(0);
             busy.polygon_list_read += list_clock;
@@ -340,7 +471,10 @@ impl Gpu {
             let row_pixels = u64::from(trace.viewport.width);
             for line in 0..flush_lines {
                 // Spread the flush across the tile's pixel rows so the
-                // address stream matches a real raster layout.
+                // address stream matches a real raster layout. Each
+                // flush line is its own cache line (64 bytes of
+                // pixels), so there is nothing to coalesce here — the
+                // locality shows up as L2 hits and DRAM row hits.
                 let local = line * (self.config.dram.line_size / 4);
                 let y = rect.1 + (local / u64::from(trace.viewport.tile_size)) as u32;
                 let x = rect.0 + (local % u64::from(trace.viewport.tile_size)) as u32;
@@ -363,65 +497,97 @@ impl Gpu {
             }
         }
         busy.flush += flush_clock;
+        self.scratch = scratch;
         (tile_work_clock.max(flush_clock), color_accesses, depth_accesses)
     }
 
     /// Issues the texture samples of `vis` fragments of one quad and
     /// charges the (partially hidden) miss latency to FP `fp`.
+    ///
+    /// Address generation (through the primitive's memoized `samplers`)
+    /// is fused with run servicing: addresses stream through a current
+    /// same-line run that is flushed to the texture cache on every line
+    /// change, so a bilinear footprint inside one 4×4 texel block is a
+    /// single texture-cache lookup, adjacent fragments extend the run,
+    /// and no per-quad address buffer is materialized.
     #[allow(clippy::too_many_arguments)]
     fn sample_textures(
         &mut self,
-        texture: Option<&megsim_gfx::texture::TextureDesc>,
-        filters: &[TextureFilter],
-        lod: u32,
+        offsets: &[Vec2; 4],
         uv: Vec2,
         vis: u64,
         fp: usize,
         base: u64,
+        samplers: &[LodSampler],
         tex_clock: &mut [u64],
     ) {
-        let Some(texture) = texture else {
+        if samplers.is_empty() {
             return;
-        };
-        // Per-fragment sampling: offset each fragment by one texel (at
-        // the selected LOD) so the address stream has realistic spatial
-        // locality.
-        let lw = (texture.width >> lod.min(texture.max_level())).max(1);
-        let lh = (texture.height >> lod.min(texture.max_level())).max(1);
-        let texel = Vec2::new(1.0 / lw as f32, 1.0 / lh as f32);
-        for f in 0..vis {
-            let fuv = Vec2::new(
-                uv.x + texel.x * (f % 2) as f32,
-                uv.y + texel.y * (f / 2) as f32,
-            );
-            for filter in filters {
-                self.scratch_addrs.clear();
-                texture.sample_addresses_lod(fuv, *filter, lod, &mut self.scratch_addrs);
-                let addrs = std::mem::take(&mut self.scratch_addrs);
-                for &addr in &addrs {
-                    // One texel lookup per cycle of pipe occupancy; a
-                    // miss stalls the pipe for a capped latency (the
-                    // in-flight quad window hides the rest).
-                    let acc = self.texture_caches[fp].access(addr, false);
-                    if let Some(wb) = acc.writeback {
-                        self.memory.access(wb, base + tex_clock[fp], true);
-                    }
-                    if acc.hit {
-                        tex_clock[fp] += 1;
+        }
+        let line_shift = self.config.texture_cache.line_size.trailing_zeros();
+        let stall_cap = self.config.texture_miss_stall_cap;
+        // The FP's cache and clock are borrowed once for the whole quad
+        // so the per-run servicing stays free of slice indexing.
+        let cache = &mut self.texture_caches[fp];
+        let memory = &mut self.memory;
+        let clock = &mut tex_clock[fp];
+        // Current same-line run; the boundaries are exactly those of a
+        // scan over the quad's flat address sequence (the sampler's
+        // pre-coalesced runs are guaranteed same-line, so extending the
+        // open run by `count` merges exactly where the flat scan would).
+        let mut run_addr = 0u64;
+        let mut run_line = 0u64;
+        let mut run_count = 0u64;
+        for off in &offsets[..vis.min(4) as usize] {
+            let fuv = Vec2::new(uv.x + off.x, uv.y + off.y);
+            for sampler in samplers {
+                sampler.for_each_run(fuv, line_shift, |addr, count| {
+                    let line = addr >> line_shift;
+                    if run_count > 0 && line == run_line {
+                        run_count += count;
                     } else {
-                        // The pipe keeps `texture_miss_stall_cap` cycles
-                        // of work in flight; it stalls only when the
-                        // fill arrives later than that window allows.
-                        let fill = self.memory.access(addr, base + tex_clock[fp], false);
-                        let arrival = fill.ready_at.saturating_sub(base);
-                        tex_clock[fp] = (tex_clock[fp] + 1)
-                            .max(arrival.saturating_sub(self.config.texture_miss_stall_cap));
+                        if run_count > 0 {
+                            texture_run(cache, memory, run_addr, run_count, base, stall_cap, clock);
+                        }
+                        run_addr = addr;
+                        run_line = line;
+                        run_count = count;
                     }
-                }
-                self.scratch_addrs = addrs;
+                });
             }
         }
+        if run_count > 0 {
+            texture_run(cache, memory, run_addr, run_count, base, stall_cap, clock);
+        }
     }
+}
+
+/// Services one same-line run of texture samples on one FP: one texel
+/// lookup per cycle of pipe occupancy; a miss stalls the pipe for a
+/// capped latency (the in-flight quad window hides the rest); the run's
+/// remaining `count - 1` accesses are hits at one pipe cycle each.
+#[inline]
+fn texture_run(
+    cache: &mut megsim_mem::Cache,
+    memory: &mut megsim_mem::MemoryHierarchy,
+    addr: u64,
+    count: u64,
+    base: u64,
+    stall_cap: u64,
+    clock: &mut u64,
+) {
+    let acc = cache.access_run(addr, false, count);
+    if let Some(wb) = acc.writeback {
+        memory.access(wb, base + *clock, true);
+    }
+    if acc.hit {
+        *clock += 1;
+    } else {
+        let fill = memory.access(addr, base + *clock, false);
+        let arrival = fill.ready_at.saturating_sub(base);
+        *clock = (*clock + 1).max(arrival.saturating_sub(stall_cap));
+    }
+    *clock += count - 1;
 }
 
 #[cfg(test)]
@@ -553,6 +719,18 @@ mod tests {
         let stats = gpu.simulate_frame(&t, &shaders());
         assert_eq!(stats.cycles, overhead + fill);
         assert_eq!(stats.dram_accesses(), 0);
+    }
+
+    #[test]
+    fn drain_l2_writes_back_dirty_lines_once() {
+        let cfg = GpuConfig::small(128, 128);
+        let viewport = cfg.viewport;
+        let mut gpu = Gpu::new(cfg);
+        gpu.simulate_frame(&trace_of(&frame(0.5, true), viewport), &shaders());
+        // The flush left dirty frame-buffer lines in the L2.
+        let wb = gpu.drain_l2();
+        assert!(wb > 0);
+        assert_eq!(gpu.drain_l2(), 0, "second drain finds a clean L2");
     }
 }
 

@@ -2,6 +2,8 @@
 //! accuracy study evaluates (Fig. 7): total cycles, main-memory
 //! accesses, L2 accesses and Tile-cache accesses, plus IPC (Table II).
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use megsim_funcsim::FrameActivity;
@@ -76,7 +78,10 @@ pub struct FrameStats {
     /// On-chip depth-buffer accesses (Early-Z).
     pub depth_buffer_accesses: u64,
     /// Functional activity of the frame (inputs to the power model).
-    pub activity: FrameActivity,
+    /// Shared with the trace it came from — cloning `FrameStats` or
+    /// copying a trace's activity in costs a refcount, not a deep copy
+    /// of the per-shader vectors; merging unshares lazily.
+    pub activity: Arc<FrameActivity>,
     /// Per-unit busy-cycle breakdown.
     pub unit_busy: UnitBusy,
 }
@@ -125,11 +130,11 @@ impl FrameStats {
             && self.activity.fragment_shader_invocations.len()
                 == other.activity.fragment_shader_invocations.len()
         {
-            self.activity.merge(&other.activity);
+            Arc::make_mut(&mut self.activity).merge(&other.activity);
         } else if self.activity.vertex_shader_invocations.is_empty()
             && self.activity.fragment_shader_invocations.is_empty()
         {
-            self.activity = other.activity.clone();
+            self.activity = Arc::clone(&other.activity);
         }
     }
 

@@ -1,0 +1,158 @@
+//! Golden cycle-count regression tests: exact cycles and memory
+//! counters for a small fixed scene in all three rendering modes.
+//!
+//! The timing model is deterministic, so any change to these numbers
+//! is a semantic change to the model — intentional changes must
+//! re-pin the constants; accidental ones (e.g. a fast-path edit that
+//! breaks run-coalescing bit-identity) fail here even if the
+//! property-based oracle tests are not run.
+
+use std::sync::Arc;
+
+use megsim_funcsim::{RenderConfig, RenderMode, Renderer};
+use megsim_gfx::draw::{BlendMode, DrawCall, Frame};
+use megsim_gfx::geometry::{Mesh, Vertex};
+use megsim_gfx::math::{Mat4, Vec3};
+use megsim_gfx::shader::{ShaderId, ShaderProgram, ShaderTable, TextureFilter};
+use megsim_gfx::texture::TextureDesc;
+use megsim_timing::{FrameStats, Gpu, GpuConfig};
+
+fn shaders() -> ShaderTable {
+    let mut t = ShaderTable::new();
+    t.add(ShaderProgram::vertex(0, "vs", 10));
+    t.add(ShaderProgram::fragment(
+        0,
+        "fs_tex",
+        7,
+        vec![TextureFilter::Bilinear],
+    ));
+    t.add(ShaderProgram::fragment(1, "fs_flat", 3, vec![]));
+    t
+}
+
+fn corner(x: f32, y: f32, u: f32, v: f32) -> Vertex {
+    Vertex {
+        uv: megsim_gfx::math::Vec2::new(u, v),
+        ..Vertex::at(Vec3::new(x, y, 0.0))
+    }
+}
+
+fn quad(scale: f32, base_address: u64) -> Arc<Mesh> {
+    Arc::new(Mesh::new(
+        vec![
+            corner(-scale, -scale, 0.0, 0.0),
+            corner(scale, -scale, 1.0, 0.0),
+            corner(scale, scale, 1.0, 1.0),
+            corner(-scale, scale, 0.0, 1.0),
+        ],
+        vec![0, 1, 2, 0, 2, 3],
+        base_address,
+    ))
+}
+
+/// Two frames: a textured quad under a smaller opaque overlay (the
+/// overdraw exercises Early-Z and HSR — deferred shading culls the
+/// occluded textured fragments) plus a translucent sprite, then the
+/// same scene again so the second frame runs against warm caches.
+fn scene() -> Vec<Frame> {
+    let mut frame = Frame::new();
+    frame.draws.push(DrawCall {
+        mesh: quad(0.7, 0x4000),
+        transform: Mat4::translation(Vec3::new(0.0, 0.0, 0.3)),
+        vertex_shader: ShaderId(0),
+        fragment_shader: ShaderId(0),
+        texture: Some(TextureDesc::new(0, 64, 64, 4, 0x8000)),
+        blend: BlendMode::Opaque,
+        depth_test: true,
+    });
+    frame.draws.push(DrawCall {
+        mesh: quad(0.35, 0x6000),
+        transform: Mat4::translation(Vec3::new(0.1, -0.1, -0.2)),
+        vertex_shader: ShaderId(0),
+        fragment_shader: ShaderId(1),
+        texture: None,
+        blend: BlendMode::Opaque,
+        depth_test: true,
+    });
+    frame.draws.push(DrawCall {
+        mesh: quad(0.2, 0x7000),
+        transform: Mat4::translation(Vec3::new(-0.4, 0.4, -0.4)),
+        vertex_shader: ShaderId(0),
+        fragment_shader: ShaderId(1),
+        texture: None,
+        blend: BlendMode::AlphaBlend,
+        depth_test: false,
+    });
+    vec![frame.clone(), frame]
+}
+
+fn run(mode: RenderMode) -> Vec<FrameStats> {
+    let mut cfg = GpuConfig::small(128, 128);
+    cfg.render_mode = mode;
+    let viewport = cfg.viewport;
+    let renderer = Renderer::new(RenderConfig { viewport, mode });
+    let shaders = shaders();
+    let mut gpu = Gpu::new(cfg);
+    scene()
+        .iter()
+        .map(|f| gpu.simulate_frame(&renderer.render_frame(f, &shaders), &shaders))
+        .collect()
+}
+
+/// `(cycles, dram, l2, tile, vertex misses, texture accesses)` per frame.
+fn fingerprint(stats: &[FrameStats]) -> Vec<(u64, u64, u64, u64, u64, u64)> {
+    stats
+        .iter()
+        .map(|s| {
+            (
+                s.cycles,
+                s.dram_accesses(),
+                s.l2_accesses(),
+                s.tile_cache_accesses(),
+                s.vertex_cache.misses,
+                s.texture_cache.accesses(),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn golden_cycles_tbr() {
+    assert_eq!(
+        fingerprint(&run(RenderMode::TileBased)),
+        vec![
+            (22662, 812, 1783, 68, 6, 32400),
+            (31061, 750, 1704, 68, 6, 32400),
+        ],
+        "pinned TBR counters changed"
+    );
+}
+
+#[test]
+fn golden_cycles_tbdr() {
+    // HSR culls the textured fragments under the opaque overlay, so
+    // TBDR samples fewer texels than TBR (24300 vs 32400).
+    assert_eq!(
+        fingerprint(&run(RenderMode::TileBasedDeferred)),
+        vec![
+            (20579, 756, 1427, 68, 6, 24300),
+            (26366, 660, 1206, 68, 6, 24300),
+        ],
+        "pinned TBDR counters changed"
+    );
+}
+
+#[test]
+fn golden_cycles_imr() {
+    // No tiling engine (tile-cache column is zero); color and depth
+    // traffic go through memory instead, so DRAM and L2 counts are the
+    // highest of the three modes.
+    assert_eq!(
+        fingerprint(&run(RenderMode::Immediate)),
+        vec![
+            (53352, 925, 6936, 0, 6, 32400),
+            (62270, 904, 6873, 0, 6, 32400),
+        ],
+        "pinned IMR counters changed"
+    );
+}
