@@ -772,7 +772,8 @@ pub fn ablation_selection_criterion(data: &[BenchmarkData], base: &MegsimConfig)
         let normalized = megsim_core::normalize(&d.matrix, &base.weights);
         let max_k = base.search.max_k.min(48).min(normalized.len());
         let (clustering, _score) =
-            megsim_cluster::best_by_silhouette(&normalized, max_k.max(2), base.search.seed);
+            megsim_cluster::try_best_by_silhouette(&normalized, max_k.max(2), base.search.seed)
+                .expect("non-empty normalized matrix and max_k >= 2");
         let reps: Vec<megsim_core::Representative> = clustering
             .representatives(&normalized)
             .into_iter()

@@ -31,15 +31,25 @@
 
 pub mod bic;
 pub mod kmeans;
+/// The original (seed) clustering engine, retained verbatim as the
+/// bit-exactness oracle and benchmark baseline for the bound-pruned
+/// fast path.
+#[cfg(any(test, feature = "reference"))]
+pub mod kmeans_reference;
 pub mod matrix;
 pub mod search;
 pub mod silhouette;
 
 pub use bic::bic_score;
 pub use kmeans::{
-    euclidean_distance, kmeans, kmeans_best_of, squared_distance, InitMethod, KMeansConfig,
-    KMeansResult,
+    euclidean_distance, kmeans, kmeans_best_of, restart_seed, squared_distance, InitMethod,
+    KMeansConfig, KMeansResult,
 };
-pub use matrix::PointMatrix;
-pub use search::{search_clusters, SearchConfig, SearchResult};
-pub use silhouette::{best_by_silhouette, silhouette_score};
+#[cfg(any(test, feature = "reference"))]
+pub use kmeans_reference::ReferenceKMeans;
+pub use matrix::{PointMatrix, SoaPoints};
+pub use search::{candidate_seed, search_clusters, SearchConfig, SearchResult, SearchScratch};
+pub use silhouette::{
+    best_by_silhouette, silhouette_score, try_best_by_silhouette, try_silhouette_score,
+    SilhouetteError,
+};

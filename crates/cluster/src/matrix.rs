@@ -1,4 +1,5 @@
-//! Contiguous row-major point storage shared by the distance kernels.
+//! Contiguous row-major point storage shared by the distance kernels,
+//! plus the cache-blocked SoA pairwise-distance kernel.
 //!
 //! The original implementation stored observations as `Vec<Vec<f64>>`,
 //! which puts every row behind its own heap allocation: the inner
@@ -6,6 +7,16 @@
 //! pointer-chase on every distance. [`PointMatrix`] packs all rows
 //! into one flat buffer so row access is a bounds-checked slice into
 //! contiguous memory and streaming the whole matrix is a linear scan.
+//!
+//! [`SoaPoints`] is the transposed (column-major) view feeding
+//! [`SoaPoints::d2_block`]: all-pairs stages (the §III-D similarity
+//! matrix, the silhouette ablation) compute distances tile by tile so
+//! one pass over a dimension's column serves a whole block of pairs
+//! from cache, and the inner loop over `j` is a contiguous stream the
+//! compiler can vectorize. Per pair the accumulation runs dimension by
+//! dimension into a single scalar — the exact op sequence of
+//! [`crate::squared_distance`] — so tiling reorders only *which* pairs
+//! are computed, never any floating-point result.
 
 /// A dense `rows × dim` matrix of `f64` observations, row-major.
 #[derive(Debug, Clone, PartialEq, Default)]
@@ -115,6 +126,154 @@ impl PointMatrix {
     }
 }
 
+/// Register-block width of [`SoaPoints::d2_block`]: how many `j` points
+/// accumulate simultaneously, each in its own register lane (8 f64s is
+/// one AVX-512 vector, two AVX ones).
+const D2_LANES: usize = 8;
+
+/// Column-major (structure-of-arrays) copy of a [`PointMatrix`] for the
+/// blocked pairwise-distance kernel: coordinate `d` of every point sits
+/// contiguously in column `d`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SoaPoints {
+    /// `dim` columns of `n` values each, column-major.
+    cols: Vec<f64>,
+    n: usize,
+    dim: usize,
+}
+
+impl SoaPoints {
+    /// Transposes a row-major matrix into column-major storage (one
+    /// O(n·d) pass, paid once per all-pairs stage).
+    pub fn from_matrix(points: &PointMatrix) -> Self {
+        let n = points.len();
+        let dim = points.dim();
+        let mut cols = vec![0.0f64; n * dim];
+        for (i, row) in points.iter_rows().enumerate() {
+            for (d, &v) in row.iter().enumerate() {
+                cols[d * n + i] = v;
+            }
+        }
+        SoaPoints { cols, n, dim }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether there are no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Dimensions per point.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Column `d`: coordinate `d` of every point, contiguous.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `d >= dim`.
+    pub fn col(&self, d: usize) -> &[f64] {
+        assert!(d < self.dim, "column {d} out of range ({} dims)", self.dim);
+        &self.cols[d * self.n..(d + 1) * self.n]
+    }
+
+    /// Writes the squared Euclidean distances between every `i` in `is`
+    /// and every `j` in `js` into `out` as a row-major
+    /// `is.len() × js.len()` tile (`out[(i − is.start) · js.len() +
+    /// (j − js.start)]`).
+    ///
+    /// The tile accumulates dimension by dimension: per pair that is a
+    /// single scalar receiving `(x_id − x_jd)²` in ascending `d` order —
+    /// bitwise the fold [`crate::squared_distance`] computes. The kernel
+    /// register-blocks [`D2_LANES`] points of `js` at a time: their
+    /// accumulators live in registers across the whole dimension loop
+    /// (one contiguous vector load per dimension, no per-dimension tile
+    /// traffic), and each lane is an independent sum, so the block
+    /// vectorizes at full width without reordering any pair's fold.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a range exceeds the point count or `out` is smaller
+    /// than the tile.
+    pub fn d2_block(
+        &self,
+        is: std::ops::Range<usize>,
+        js: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        self.block_kernel::<false>(is, js, out);
+    }
+
+    /// [`SoaPoints::d2_block`] with the square root fused into the
+    /// store: `out` receives Euclidean distances (`sqrt` applied to the
+    /// finished accumulator lanes, bitwise
+    /// [`crate::euclidean_distance`]), saving consumers a separate pass
+    /// over the tile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a range exceeds the point count or `out` is smaller
+    /// than the tile.
+    pub fn dist_block(
+        &self,
+        is: std::ops::Range<usize>,
+        js: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        self.block_kernel::<true>(is, js, out);
+    }
+
+    fn block_kernel<const SQRT: bool>(
+        &self,
+        is: std::ops::Range<usize>,
+        js: std::ops::Range<usize>,
+        out: &mut [f64],
+    ) {
+        assert!(is.end <= self.n && js.end <= self.n, "tile range out of bounds");
+        let (h, w) = (is.len(), js.len());
+        let tile = &mut out[..h * w];
+        let n = self.n;
+        for (bi, i) in is.clone().enumerate() {
+            let row = &mut tile[bi * w..(bi + 1) * w];
+            let mut jb = 0;
+            while jb + D2_LANES <= w {
+                let mut acc = [0.0f64; D2_LANES];
+                for d in 0..self.dim {
+                    let col = &self.cols[d * n..(d + 1) * n];
+                    let xi = col[i];
+                    let cj = &col[js.start + jb..js.start + jb + D2_LANES];
+                    for (a, &xj) in acc.iter_mut().zip(cj) {
+                        let diff = xi - xj;
+                        *a += diff * diff;
+                    }
+                }
+                if SQRT {
+                    for a in &mut acc {
+                        *a = a.sqrt();
+                    }
+                }
+                row[jb..jb + D2_LANES].copy_from_slice(&acc);
+                jb += D2_LANES;
+            }
+            // Ragged tail: one scalar fold per remaining pair.
+            for (off, j) in (js.start + jb..js.end).enumerate() {
+                let mut acc = 0.0f64;
+                for d in 0..self.dim {
+                    let col = &self.cols[d * n..(d + 1) * n];
+                    let diff = col[i] - col[j];
+                    acc += diff * diff;
+                }
+                row[jb + off] = if SQRT { acc.sqrt() } else { acc };
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -159,5 +318,55 @@ mod tests {
         let m = PointMatrix::from_flat(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3);
         assert_eq!(m.len(), 2);
         assert_eq!(m.row(0), &[1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn soa_transpose_roundtrips() {
+        let m = PointMatrix::from_rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]);
+        let soa = SoaPoints::from_matrix(&m);
+        assert_eq!(soa.len(), 3);
+        assert_eq!(soa.dim(), 2);
+        assert_eq!(soa.col(0), &[1.0, 3.0, 5.0]);
+        assert_eq!(soa.col(1), &[2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn d2_block_is_bitwise_squared_distance() {
+        // Awkward magnitudes so any accumulation-order difference would
+        // show up in the low bits.
+        let m = PointMatrix::from_rows(
+            (0..17)
+                .map(|i| {
+                    (0..5)
+                        .map(|d| ((i * 7 + d * 13) as f64).sin() * 10f64.powi((d % 3) - 1))
+                        .collect()
+                })
+                .collect(),
+        );
+        let soa = SoaPoints::from_matrix(&m);
+        let mut tile = vec![f64::NAN; 17 * 17];
+        for (is, js) in [(0..17, 0..17), (3..9, 11..17), (16..17, 0..1), (5..5, 0..4)] {
+            let w = js.len();
+            soa.d2_block(is.clone(), js.clone(), &mut tile);
+            for (bi, i) in is.clone().enumerate() {
+                for (bj, j) in js.clone().enumerate() {
+                    let expected = crate::kmeans::squared_distance(m.row(i), m.row(j));
+                    assert_eq!(
+                        tile[bi * w + bj].to_bits(),
+                        expected.to_bits(),
+                        "pair ({i}, {j})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn d2_block_handles_zero_dim() {
+        let m = PointMatrix::from_rows(vec![vec![], vec![]]);
+        let soa = SoaPoints::from_matrix(&m);
+        let mut tile = vec![f64::NAN; 4];
+        soa.d2_block(0..2, 0..2, &mut tile);
+        assert_eq!(tile, vec![0.0; 4]);
     }
 }

@@ -7,14 +7,24 @@
 //! a BIC score that is at least [T = 85 %] of the spread between the
 //! largest and the smallest BIC score."
 //!
-//! Each candidate `k` is fit with [`kmeans_best_of`]: `restarts`
-//! independently seeded k-means runs fan out on the `megsim-exec`
-//! worker pool and the lowest-WCSS fit wins (the paper's multi-seeding
-//! robustness protocol). Restart seeds derive from `(seed, k, restart
-//! index)` only, so the search is bit-identical at any thread count.
+//! Each candidate `k` is fit with the paper's multi-seeding robustness
+//! protocol: `restarts` independently seeded k-means runs, lowest WCSS
+//! wins. Seeds derive from `(seed, k, restart index)` only — candidate
+//! `k` uses [`candidate_seed`], restart `r` within it
+//! [`crate::kmeans::restart_seed`], both pinned by unit tests — so the
+//! search is bit-identical at any thread count.
+//!
+//! The whole search shares one [`SearchScratch`]: assignment labels,
+//! Hamerly bounds, per-cluster accumulators and the memoized D²-seeding
+//! distance rows persist across every restart of every candidate `k`
+//! (the data never changes mid-search), so steady-state iterations
+//! allocate nothing and k-means++ reuses seeding rows it computed for
+//! earlier candidates. The parallelism lives *inside* each fit's
+//! assignment step, which fans out in deterministic fixed-size chunks
+//! on the `megsim-exec` pool.
 
 use crate::bic::bic_score;
-use crate::kmeans::{kmeans_best_of, InitMethod, KMeansConfig, KMeansResult};
+use crate::kmeans::{kmeans_best_of_with, InitMethod, KMeansConfig, KMeansResult, KMeansScratch};
 use crate::matrix::PointMatrix;
 
 /// Configuration of the cluster search.
@@ -34,8 +44,12 @@ pub struct SearchConfig {
     /// `3`; the smoother multi-seeded BIC curve lets the search stop
     /// earlier without mistaking init noise for the true BIC peak.)
     pub patience: usize,
-    /// Base RNG seed; run `i` for cluster count `k` uses
-    /// `seed ⊕ hash(k)` so every `k` gets an independent stream.
+    /// Base RNG seed. Candidate `k` uses [`candidate_seed`]`(seed, k)`
+    /// (`seed ⊕ k · 0x9E37_79B9_7F4A_7C15`) so every `k` gets an
+    /// independent stream; restart `r` within a candidate then derives
+    /// via [`crate::kmeans::restart_seed`]. Both functions are pinned
+    /// by unit tests — changing either would change which restart wins
+    /// and therefore every downstream representative.
     pub seed: u64,
     /// Centroid initialization passed through to k-means.
     pub init: InitMethod,
@@ -114,22 +128,67 @@ impl SearchResult {
     }
 }
 
+/// Derives the k-means seed of candidate `k` from the search's base
+/// seed — `seed ⊕ k · 0x9E37_79B9_7F4A_7C15` (the 64-bit golden-ratio
+/// multiplier, pinned). Every search path goes through this function; a
+/// unit test pins its exact output so future edits cannot silently
+/// change which restart wins (which would change every downstream
+/// representative).
+#[inline]
+pub fn candidate_seed(seed: u64, k: usize) -> u64 {
+    seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Reusable buffers of the §III-F search: the shared k-means scratch
+/// (labels, bounds, accumulators, memoized D²-seeding rows) plus the
+/// per-candidate result/score accumulators. One scratch serves any
+/// number of searches; every [`search_clusters_with`] call re-keys the
+/// data-dependent state itself.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    kmeans: KMeansScratch,
+}
+
+impl SearchScratch {
+    /// A fresh scratch (equivalent to `Default::default()`).
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Runs the §III-F search over `data`.
 ///
 /// # Panics
 ///
 /// Panics if `data` is empty.
 pub fn search_clusters(data: &PointMatrix, config: &SearchConfig) -> SearchResult {
+    search_clusters_with(data, config, &mut SearchScratch::new())
+}
+
+/// Scratch-reusing variant of [`search_clusters`] for callers that run
+/// many searches (the experiment sweeps): buffer capacities carry over
+/// between calls, while data-dependent state (the D²-seeding cache) is
+/// reset on entry. Results are bitwise those of [`search_clusters`].
+///
+/// # Panics
+///
+/// Panics if `data` is empty.
+pub fn search_clusters_with(
+    data: &PointMatrix,
+    config: &SearchConfig,
+    scratch: &mut SearchScratch,
+) -> SearchResult {
     assert!(!data.is_empty(), "cannot cluster an empty dataset");
+    scratch.kmeans.reset_for_new_data();
     let hard_max = config.max_k.min(data.len());
     let mut results: Vec<KMeansResult> = Vec::new();
     let mut scores: Vec<f64> = Vec::new();
     let mut decreases = 0usize;
     for k in 1..=hard_max {
         let km_config = KMeansConfig::new(k)
-            .with_seed(config.seed ^ (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+            .with_seed(candidate_seed(config.seed, k))
             .with_init(config.init);
-        let result = kmeans_best_of(data, &km_config, config.restarts);
+        let result = kmeans_best_of_with(data, &km_config, config.restarts, &mut scratch.kmeans);
         let score = bic_score(data, &result);
         let stop = match scores.last() {
             Some(&prev) if score < prev => {
@@ -277,5 +336,40 @@ mod tests {
         let data = PointMatrix::from_rows(vec![vec![0.0], vec![1.0]]);
         let r = search_clusters(&data, &SearchConfig::default());
         assert!(r.k >= 1);
+    }
+
+    #[test]
+    fn candidate_seed_is_pinned() {
+        // The exact derivation behind every per-k k-means stream:
+        // seed ⊕ k · 0x9E37_79B9_7F4A_7C15. These literals must never
+        // drift — a different derivation changes which restart wins for
+        // every candidate and therefore every selected representative.
+        assert_eq!(candidate_seed(0, 1), 0x9E37_79B9_7F4A_7C15);
+        assert_eq!(candidate_seed(0, 2), 0x3C6E_F372_FE94_F82A);
+        assert_eq!(candidate_seed(0, 3), 0xDAA6_6D2C_7DDF_743F);
+        assert_eq!(candidate_seed(0, 4), 0x78DD_E6E5_FD29_F054);
+        assert_eq!(candidate_seed(7, 1), 0x9E37_79B9_7F4A_7C12);
+        assert_eq!(
+            candidate_seed(0xFFFF_FFFF_FFFF_FFFF, 1),
+            !0x9E37_79B9_7F4A_7C15u64
+        );
+    }
+
+    #[test]
+    fn scratch_reuse_across_searches_is_bitwise_neutral() {
+        // One scratch serving searches over *different* datasets must
+        // produce exactly what fresh-scratch searches produce — the
+        // data-dependent seeding cache is re-keyed per call.
+        let data_a = blobs(20, &[(0.0, 0.0), (15.0, 0.0)]);
+        let data_b = blobs(15, &[(0.0, 0.0), (7.0, 7.0), (0.0, 14.0)]);
+        let config = SearchConfig::default().with_seed(31);
+        let mut scratch = SearchScratch::new();
+        for data in [&data_a, &data_b, &data_a] {
+            let warm = search_clusters_with(data, &config, &mut scratch);
+            let cold = search_clusters(data, &config);
+            assert_eq!(warm.k, cold.k);
+            assert_eq!(warm.bic_scores, cold.bic_scores);
+            assert_eq!(warm.clustering, cold.clustering);
+        }
     }
 }

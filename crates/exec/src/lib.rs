@@ -152,6 +152,70 @@ where
     par_map_range(items.len(), |i| f(i, &items[i]))
 }
 
+/// Maps `0..n` in fixed-size chunks through `f(range)` on the worker
+/// pool, returning one result per chunk in chunk order.
+///
+/// The chunk boundaries depend only on `n` and `chunk`, never on the
+/// thread count, so splitting work this way preserves the determinism
+/// contract even when `f` accumulates floating-point state per chunk:
+/// the caller can reduce the returned chunk results in their fixed
+/// order.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn par_map_chunks<U, F>(n: usize, chunk: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(std::ops::Range<usize>) -> U + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let chunks = n.div_ceil(chunk);
+    par_map_range(chunks, |c| f(c * chunk..((c + 1) * chunk).min(n)))
+}
+
+/// Consumes a vector of independent work items on the worker pool,
+/// work-stealing one item at a time.
+///
+/// Unlike [`par_map_range`] this variant lets each item *own* mutable
+/// state — typically disjoint `&mut` sub-slices produced by
+/// `chunks_mut`/`split_at_mut` — so in-place chunked updates (e.g. a
+/// label-assignment pass writing into per-chunk slices of one shared
+/// buffer) can run on the pool without collecting and copying results.
+/// Scheduling order cannot leak into the output as long as items touch
+/// only the state they own.
+///
+/// Runs inline on the caller when the pool is unavailable (one thread,
+/// or already inside a pool worker). Panics in `f` propagate.
+pub fn par_for_each_task<T, F>(tasks: Vec<T>, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let threads = thread_count().min(tasks.len());
+    if threads <= 1 || in_pool() {
+        for task in tasks {
+            f(task);
+        }
+        return;
+    }
+    let queue = Mutex::new(tasks.into_iter());
+    scope(|s| {
+        for _ in 0..threads {
+            s.spawn(|| {
+                IN_POOL.with(|flag| flag.set(true));
+                loop {
+                    let task = queue.lock().next();
+                    match task {
+                        Some(task) => f(task),
+                        None => break,
+                    }
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -240,6 +304,63 @@ mod tests {
         let out: Vec<usize> = par_map_range(0, |i| i);
         assert!(out.is_empty());
         assert_eq!(par_map_range(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn par_map_chunks_covers_every_index_once() {
+        let _guard = OVERRIDE_LOCK.lock();
+        set_threads(4);
+        let chunks = par_map_chunks(103, 10, |r| r.collect::<Vec<usize>>());
+        set_threads(0);
+        assert_eq!(chunks.len(), 11);
+        let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+        assert_eq!(flat, (0..103).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_chunks_is_thread_count_independent() {
+        let _guard = OVERRIDE_LOCK.lock();
+        let mut outputs = Vec::new();
+        for threads in [1, 2, 8] {
+            set_threads(threads);
+            // Per-chunk float accumulation: chunk boundaries (not the
+            // scheduler) define the reduction tree.
+            let sums = par_map_chunks(1000, 64, |r| r.map(|i| (i as f64).sqrt()).sum::<f64>());
+            outputs.push(sums);
+        }
+        set_threads(0);
+        for pair in outputs.windows(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn par_for_each_task_runs_every_item_with_owned_state() {
+        let _guard = OVERRIDE_LOCK.lock();
+        set_threads(4);
+        let mut buffer = vec![0usize; 257];
+        {
+            let tasks: Vec<(usize, &mut [usize])> = buffer
+                .chunks_mut(16)
+                .enumerate()
+                .map(|(c, chunk)| (c * 16, chunk))
+                .collect();
+            par_for_each_task(tasks, |(start, chunk)| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    *slot = (start + off) * 3;
+                }
+            });
+        }
+        set_threads(0);
+        for (i, v) in buffer.iter().enumerate() {
+            assert_eq!(*v, i * 3);
+        }
+    }
+
+    #[test]
+    fn par_for_each_task_handles_empty_input() {
+        let tasks: Vec<usize> = Vec::new();
+        par_for_each_task(tasks, |_| panic!("must not run"));
     }
 
     #[test]
