@@ -100,7 +100,10 @@ fn write_bench_summary() {
     let config = SearchConfig::default().with_max_k(24);
     let expected = ReferenceKMeans::search_clusters(&data, &config);
     let got = search_clusters(&data, &config);
-    assert_eq!(expected.k, got.k, "fast-path search diverged from the seed engine");
+    assert_eq!(
+        expected.k, got.k,
+        "fast-path search diverged from the seed engine"
+    );
     assert_eq!(expected.bic_scores, got.bic_scores);
     assert_eq!(expected.clustering, got.clustering);
     let reference = secs(|| {
@@ -143,7 +146,10 @@ fn write_bench_summary() {
     );
     entries.push(("cluster_silhouette_reference_secs".to_string(), reference));
     entries.push(("cluster_silhouette_optimized_secs".to_string(), optimized));
-    entries.push(("cluster_silhouette_speedup".to_string(), reference / optimized));
+    entries.push((
+        "cluster_silhouette_speedup".to_string(),
+        reference / optimized,
+    ));
 
     // §III-D similarity matrix: blocked SoA tiles vs the seed per-row
     // scan (reconstructed inline — the production path now always runs
@@ -154,9 +160,7 @@ fn write_bench_summary() {
         let mut packed = Vec::with_capacity(n * (n + 1) / 2);
         for i in 0..n {
             let a = sim_data.row(i);
-            packed.extend(
-                (i..n).map(|j| megsim_cluster::euclidean_distance(a, sim_data.row(j))),
-            );
+            packed.extend((i..n).map(|j| megsim_cluster::euclidean_distance(a, sim_data.row(j))));
         }
         black_box(packed.len());
     });
@@ -171,7 +175,10 @@ fn write_bench_summary() {
     );
     entries.push(("cluster_similarity_reference_secs".to_string(), reference));
     entries.push(("cluster_similarity_optimized_secs".to_string(), optimized));
-    entries.push(("cluster_similarity_speedup".to_string(), reference / optimized));
+    entries.push((
+        "cluster_similarity_speedup".to_string(),
+        reference / optimized,
+    ));
 
     megsim_exec::set_threads(0);
 

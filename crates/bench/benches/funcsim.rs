@@ -133,8 +133,14 @@ fn write_bench_summary() {
             n / optimized,
             reference / optimized
         );
-        entries.push((format!("funcsim_{name}_reference_frames_per_sec"), n / reference));
-        entries.push((format!("funcsim_{name}_optimized_frames_per_sec"), n / optimized));
+        entries.push((
+            format!("funcsim_{name}_reference_frames_per_sec"),
+            n / reference,
+        ));
+        entries.push((
+            format!("funcsim_{name}_optimized_frames_per_sec"),
+            n / optimized,
+        ));
         entries.push((format!("funcsim_{name}_speedup"), reference / optimized));
     }
     let overall = total_reference / total_optimized;

@@ -107,8 +107,14 @@ fn write_bench_summary() {
             n / optimized,
             reference / optimized
         );
-        entries.push((format!("timing_{name}_reference_frames_per_sec"), n / reference));
-        entries.push((format!("timing_{name}_optimized_frames_per_sec"), n / optimized));
+        entries.push((
+            format!("timing_{name}_reference_frames_per_sec"),
+            n / reference,
+        ));
+        entries.push((
+            format!("timing_{name}_optimized_frames_per_sec"),
+            n / optimized,
+        ));
         entries.push((format!("timing_{name}_speedup"), reference / optimized));
     }
     let overall = total_reference / total_optimized;
@@ -158,7 +164,10 @@ fn write_bench_summary() {
         "timing_warm_pipelined_frames_per_sec".to_string(),
         frames / pipelined,
     ));
-    entries.push(("timing_warm_pipeline_speedup".to_string(), sequential / pipelined));
+    entries.push((
+        "timing_warm_pipeline_speedup".to_string(),
+        sequential / pipelined,
+    ));
     entries.push(("timing_warm_pipeline_cores".to_string(), cores as f64));
 
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_3.json");

@@ -55,10 +55,8 @@ impl ExperimentArgs {
         let mut out = Self::default();
         let mut it = args.into_iter().skip(1);
         while let Some(flag) = it.next() {
-            let mut value = |name: &str| {
-                it.next()
-                    .ok_or_else(|| format!("missing value for {name}"))
-            };
+            let mut value =
+                |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
             match flag.as_str() {
                 "--scale" => {
                     out.scale = value("--scale")?
@@ -146,8 +144,20 @@ mod tests {
     #[test]
     fn parses_all_flags() {
         let a = parse(&[
-            "--scale", "0.5", "--seed", "7", "--benchmarks", "asp,jjo", "--seeds", "3",
-            "--trials", "50", "--out", "/tmp/x", "--threads", "4",
+            "--scale",
+            "0.5",
+            "--seed",
+            "7",
+            "--benchmarks",
+            "asp,jjo",
+            "--seeds",
+            "3",
+            "--trials",
+            "50",
+            "--out",
+            "/tmp/x",
+            "--threads",
+            "4",
         ])
         .unwrap();
         assert_eq!(a.scale, 0.5);

@@ -50,12 +50,18 @@ fn main() {
             )
         });
         if let Err(e) = ok {
-            eprintln!("warning: could not write artifacts for {}: {e}", d.info.alias);
+            eprintln!(
+                "warning: could not write artifacts for {}: {e}",
+                d.info.alias
+            );
         }
     }
     println!("{}", table3(&data, &runs));
     println!("{}", fig7(&data, &runs));
-    println!("{}", table4(&data, &ctx.megsim, ctx.args.seeds, ctx.args.trials));
+    println!(
+        "{}",
+        table4(&data, &ctx.megsim, ctx.args.seeds, ctx.args.trials)
+    );
     // Deployment-style pass: simulate each benchmark's representatives
     // standalone. The content-addressed frame cache serves these from
     // the ground-truth pass, which the report below makes visible.

@@ -1,6 +1,6 @@
 //! Prints Fig. 7 (relative error of the four evaluated metrics).
-use megsim_bench::{compute_suite, Context, ExperimentArgs};
 use megsim_bench::experiments::{fig7, run_all_megsim};
+use megsim_bench::{compute_suite, Context, ExperimentArgs};
 
 fn main() {
     let ctx = Context::new(ExperimentArgs::from_env());

@@ -1,6 +1,6 @@
 //! Prints Table III (frame-reduction factor per benchmark).
-use megsim_bench::{compute_suite, Context, ExperimentArgs};
 use megsim_bench::experiments::{run_all_megsim, table3};
+use megsim_bench::{compute_suite, Context, ExperimentArgs};
 
 fn main() {
     let ctx = Context::new(ExperimentArgs::from_env());

@@ -5,7 +5,10 @@ use megsim_bench::{compute_suite, Context, ExperimentArgs};
 fn main() {
     let ctx = Context::new(ExperimentArgs::from_env());
     let data = compute_suite(&ctx);
-    print!("{}", table4(&data, &ctx.megsim, ctx.args.seeds, ctx.args.trials));
+    print!(
+        "{}",
+        table4(&data, &ctx.megsim, ctx.args.seeds, ctx.args.trials)
+    );
     // Deployment-style pass: simulate each benchmark's representatives
     // standalone. The content-addressed frame cache serves these from
     // the ground-truth pass, which the report below makes visible.

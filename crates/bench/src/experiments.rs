@@ -74,14 +74,18 @@ pub fn compute_benchmark(ctx: &Context, info: &BenchmarkInfo) -> BenchmarkData {
         info.alias,
         workload.frames()
     );
+    // Frame synthesis fans out on the worker pool (`generate_frames`),
+    // so the characterize/simulate passes no longer serialize behind a
+    // single-threaded generator.
+    let frames = workload.generate_frames();
     let matrix = characterize_sequence(
-        workload.iter_frames(),
+        frames.iter().cloned(),
         workload.shaders(),
         &ctx.gpu,
         &ctx.megsim,
     );
     eprintln!("[{}] cycle-accurate ground-truth simulation...", info.alias);
-    let per_frame = simulate_sequence(workload.iter_frames(), workload.shaders(), &ctx.gpu);
+    let per_frame = simulate_sequence(frames.into_iter(), workload.shaders(), &ctx.gpu);
     let totals = sequence_totals(&per_frame);
     BenchmarkData {
         info: *info,
@@ -125,10 +129,7 @@ pub fn table1(ctx: &Context) -> String {
         "Screen resolution",
         format!("{}x{}", g.viewport.width, g.viewport.height),
     );
-    kv(
-        "Tile size",
-        format!("{0}x{0} pixels", g.viewport.tile_size),
-    );
+    kv("Tile size", format!("{0}x{0} pixels", g.viewport.tile_size));
     kv(
         "Main memory",
         format!(
@@ -142,7 +143,10 @@ pub fn table1(ctx: &Context) -> String {
     );
     kv(
         "Vertex queue",
-        format!("{} entries, {} B", g.vertex_queue.entries, g.vertex_queue.entry_bytes),
+        format!(
+            "{} entries, {} B",
+            g.vertex_queue.entries, g.vertex_queue.entry_bytes
+        ),
     );
     kv(
         "Triangle & tile queue",
@@ -160,7 +164,10 @@ pub fn table1(ctx: &Context) -> String {
     );
     kv(
         "Color queue",
-        format!("{} entries, {} B", g.color_queue.entries, g.color_queue.entry_bytes),
+        format!(
+            "{} entries, {} B",
+            g.color_queue.entries, g.color_queue.entry_bytes
+        ),
     );
     for c in [&g.vertex_cache, &g.texture_cache, &g.tile_cache, &g.l2] {
         kv(
@@ -198,7 +205,15 @@ pub fn table1(ctx: &Context) -> String {
 /// Renders the Table II benchmark characterization.
 pub fn table2(data: &[BenchmarkData]) -> String {
     let mut t = TextTable::new(&[
-        "benchmark", "alias", "type", "downloads(M)", "frames", "VS", "FS", "cycles(M)", "IPC",
+        "benchmark",
+        "alias",
+        "type",
+        "downloads(M)",
+        "frames",
+        "VS",
+        "FS",
+        "cycles(M)",
+        "IPC",
     ]);
     for d in data {
         t.row(vec![
@@ -239,8 +254,9 @@ pub fn correlation_row(d: &BenchmarkData) -> CorrelationRow {
     let m = &d.matrix;
     let prim_col = m.column(m.vscv_len + m.fscv_len);
     let vscv_cols: Vec<Vec<f64>> = (0..m.vscv_len).map(|c| m.column(c)).collect();
-    let fscv_cols: Vec<Vec<f64>> =
-        (m.vscv_len..m.vscv_len + m.fscv_len).map(|c| m.column(c)).collect();
+    let fscv_cols: Vec<Vec<f64>> = (m.vscv_len..m.vscv_len + m.fscv_len)
+        .map(|c| m.column(c))
+        .collect();
     let all_cols: Vec<Vec<f64>> = vscv_cols.iter().chain(&fscv_cols).cloned().collect();
     CorrelationRow {
         prim: pearson(&prim_col, &cycles).abs(),
@@ -252,7 +268,13 @@ pub fn correlation_row(d: &BenchmarkData) -> CorrelationRow {
 
 /// Renders Fig. 3.
 pub fn fig3(data: &[BenchmarkData]) -> String {
-    let mut t = TextTable::new(&["benchmark", "PRIM (pearson)", "VSCV (R)", "FSCV (R)", "shaders (R)"]);
+    let mut t = TextTable::new(&[
+        "benchmark",
+        "PRIM (pearson)",
+        "VSCV (R)",
+        "FSCV (R)",
+        "shaders (R)",
+    ]);
     let mut avg = CorrelationRow {
         prim: 0.0,
         vscv: 0.0,
@@ -400,7 +422,9 @@ pub fn fig6(d: &BenchmarkData, config: &MegsimConfig) -> String {
 /// Runs the MEGsim selection + estimation on every benchmark, fanning
 /// out across the (up to 8) benchmarks on the worker pool.
 pub fn run_all_megsim(data: &[BenchmarkData], config: &MegsimConfig) -> Vec<MegsimRun> {
-    megsim_exec::par_map_indexed(data, |_, d| evaluate_megsim(&d.matrix, &d.per_frame, config))
+    megsim_exec::par_map_indexed(data, |_, d| {
+        evaluate_megsim(&d.matrix, &d.per_frame, config)
+    })
 }
 
 /// Re-simulates every run's representatives standalone — the pass a
@@ -459,7 +483,10 @@ pub fn table3(data: &[BenchmarkData], runs: &[MegsimRun]) -> String {
         (total_reps / n).to_string(),
         times(total_frames as f64 / total_reps.max(1) as f64),
     ]);
-    format!("TABLE III: Reduction factor in the number of frames\n{}", t.render())
+    format!(
+        "TABLE III: Reduction factor in the number of frames\n{}",
+        t.render()
+    )
 }
 
 /// Renders Fig. 7 from precomputed runs.
@@ -512,7 +539,12 @@ pub struct Table4Row {
 /// Computes one benchmark's Table IV row: MEGsim is re-run with `seeds`
 /// different k-means seedings (the paper uses 100) and random
 /// sub-sampling grows until its 95 %-confidence error matches.
-pub fn table4_row(d: &BenchmarkData, config: &MegsimConfig, seeds: usize, trials: usize) -> Table4Row {
+pub fn table4_row(
+    d: &BenchmarkData,
+    config: &MegsimConfig,
+    seeds: usize,
+    trials: usize,
+) -> Table4Row {
     // Every seeding is an independent end-to-end MEGsim run; fan them
     // out on the pool (each run derives everything from its seed index).
     let runs = megsim_exec::par_map_range(seeds, |s| {
@@ -540,7 +572,12 @@ pub fn table4_row(d: &BenchmarkData, config: &MegsimConfig, seeds: usize, trials
 }
 
 /// Renders Table IV.
-pub fn table4(data: &[BenchmarkData], config: &MegsimConfig, seeds: usize, trials: usize) -> String {
+pub fn table4(
+    data: &[BenchmarkData],
+    config: &MegsimConfig,
+    seeds: usize,
+    trials: usize,
+) -> String {
     let mut t = TextTable::new(&[
         "benchmark",
         "max rel err",
@@ -727,8 +764,7 @@ pub fn ablation_texture_weights(data: &[BenchmarkData], base: &MegsimConfig) -> 
                 weight_texture_filters: flag,
             };
             let activities = d.per_frame.iter().map(|f| &*f.activity);
-            let matrix =
-                megsim_core::feature_matrix(activities, d.workload.shaders(), &cfg_feat);
+            let matrix = megsim_core::feature_matrix(activities, d.workload.shaders(), &cfg_feat);
             let run = evaluate_megsim(&matrix, &d.per_frame, base);
             cycles_error += run.errors.cycles;
             max_error += run.errors.max();
@@ -839,7 +875,11 @@ pub fn rendering_modes(ctx: &Context, sample_frames: usize) -> String {
     use megsim_core::evaluate::simulate_sequence;
     use megsim_funcsim::RenderMode;
     let mut t = TextTable::new(&[
-        "benchmark", "mode", "frags/frame", "DRAM/frame", "cycles/frame",
+        "benchmark",
+        "mode",
+        "frags/frame",
+        "DRAM/frame",
+        "cycles/frame",
     ]);
     for info in BENCHMARKS.iter().filter(|i| ctx.args.selects(i.alias)) {
         let workload = build(info, ctx.args.scale, ctx.args.seed);
@@ -851,11 +891,8 @@ pub fn rendering_modes(ctx: &Context, sample_frames: usize) -> String {
         ] {
             let mut gpu = ctx.gpu.clone();
             gpu.render_mode = mode;
-            let stats = simulate_sequence(
-                (0..n).map(|i| workload.frame(i)),
-                workload.shaders(),
-                &gpu,
-            );
+            let stats =
+                simulate_sequence((0..n).map(|i| workload.frame(i)), workload.shaders(), &gpu);
             let row = ModeRow {
                 fragments_shaded: stats
                     .iter()

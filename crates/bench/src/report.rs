@@ -180,7 +180,10 @@ mod tests {
         assert!(json.starts_with("{\n  \"alpha\": 120"));
         assert!(!json.contains("nan"), "non-finite values must be dropped");
         let back = parse_bench_json(&json);
-        assert_eq!(back, vec![("alpha".to_string(), 120.0), ("zeta".to_string(), 2.5)]);
+        assert_eq!(
+            back,
+            vec![("alpha".to_string(), 120.0), ("zeta".to_string(), 2.5)]
+        );
     }
 
     #[test]

@@ -141,11 +141,7 @@ fn load_trace(path: &str) -> Result<(ShaderTable, Vec<Frame>), String> {
     Ok((replay.shaders, replay.frames))
 }
 
-fn characterize_frames(
-    shaders: &ShaderTable,
-    frames: &[Frame],
-    gpu: &GpuConfig,
-) -> FeatureMatrix {
+fn characterize_frames(shaders: &ShaderTable, frames: &[Frame], gpu: &GpuConfig) -> FeatureMatrix {
     let render_config = RenderConfig {
         viewport: gpu.viewport,
         mode: gpu.render_mode,
@@ -165,9 +161,10 @@ fn record(opts: &mut Options) -> Result<(), String> {
     let scale: f64 = opts.flag("scale", 0.1)?;
     let seed: u64 = opts.flag("seed", 42)?;
     let out = opts.required_flag("out")?.to_string();
-    let workload = megsim_workloads::by_alias(&alias, scale, seed)
-        .ok_or_else(|| format!("unknown benchmark '{alias}' (try asp, bbr1, bbr2, hcr, hwh, jjo, pvz, spd)"))?;
-    let frames: Vec<Frame> = workload.iter_frames().collect();
+    let workload = megsim_workloads::by_alias(&alias, scale, seed).ok_or_else(|| {
+        format!("unknown benchmark '{alias}' (try asp, bbr1, bbr2, hcr, hwh, jjo, pvz, spd)")
+    })?;
+    let frames: Vec<Frame> = workload.generate_frames();
     let stream = record_sequence(workload.shaders(), &frames);
     let bytes = encode(&stream);
     std::fs::write(&out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
@@ -192,16 +189,9 @@ fn info(opts: &mut Options) -> Result<(), String> {
     println!("commands:          {}", stream.commands.len());
     println!("frames:            {}", stream.frame_count());
     println!("draw calls:        {}", stream.draw_count());
-    println!(
-        "vertex shaders:    {}",
-        replay.shaders.vertex_count()
-    );
-    println!(
-        "fragment shaders:  {}",
-        replay.shaders.fragment_count()
-    );
-    let draws_per_frame =
-        stream.draw_count() as f64 / stream.frame_count().max(1) as f64;
+    println!("vertex shaders:    {}", replay.shaders.vertex_count());
+    println!("fragment shaders:  {}", replay.shaders.fragment_count());
+    let draws_per_frame = stream.draw_count() as f64 / stream.frame_count().max(1) as f64;
     println!("draws per frame:   {draws_per_frame:.1}");
     Ok(())
 }
@@ -266,12 +256,8 @@ fn estimate(opts: &mut Options) -> Result<(), String> {
     let matrix = characterize_frames(&shaders, &frames, &gpu);
     let selection = select_representatives(&matrix, &config);
     // Simulate only the representatives, scale by cluster sizes.
-    let rep_stats = megsim_core::simulate_representatives(
-        |i| frames[i].clone(),
-        &selection,
-        &shaders,
-        &gpu,
-    );
+    let rep_stats =
+        megsim_core::simulate_representatives(|i| frames[i].clone(), &selection, &shaders, &gpu);
     let mut estimated = megsim_timing::FrameStats::default();
     for (stats, rep) in rep_stats.iter().zip(&selection.representatives) {
         estimated.merge(&stats.scaled(rep.cluster_size as u64));
@@ -343,14 +329,29 @@ mod tests {
     #[test]
     fn record_requires_benchmark() {
         assert!(run(&argv(&["record", "--out", "/tmp/x.mglt"])).is_err());
-        assert!(run(&argv(&["record", "--benchmark", "nope", "--out", "/tmp/x.mglt"])).is_err());
+        assert!(run(&argv(&[
+            "record",
+            "--benchmark",
+            "nope",
+            "--out",
+            "/tmp/x.mglt"
+        ]))
+        .is_err());
     }
 
     #[test]
     fn record_info_select_estimate_pipeline() {
         let trace = tmp("pipeline.mglt");
         run(&argv(&[
-            "record", "--benchmark", "hcr", "--scale", "0.01", "--seed", "5", "--out", &trace,
+            "record",
+            "--benchmark",
+            "hcr",
+            "--scale",
+            "0.01",
+            "--seed",
+            "5",
+            "--out",
+            &trace,
         ]))
         .expect("record");
         run(&argv(&["info", &trace])).expect("info");

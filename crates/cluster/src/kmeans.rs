@@ -323,7 +323,10 @@ pub(crate) fn kmeans_with_scratch(
         wcss += squared_distance(point, &centroids[label * dim..(label + 1) * dim]);
     }
     KMeansResult {
-        centroids: centroids.chunks_exact(dim.max(1)).map(<[f64]>::to_vec).collect(),
+        centroids: centroids
+            .chunks_exact(dim.max(1))
+            .map(<[f64]>::to_vec)
+            .collect(),
         labels: scratch.labels.clone(),
         wcss,
         iterations,
@@ -423,10 +426,34 @@ fn assign_pruned(
             .map(|(c, ((lab, up), lo))| (c * ASSIGN_CHUNK, lab, up, lo))
             .collect();
         megsim_exec::par_for_each_task(tasks, |(start, lab, up, lo)| {
-            assign_chunk(data, centroids, ct, dim, k, margin, bounds_valid, start, lab, up, lo);
+            assign_chunk(
+                data,
+                centroids,
+                ct,
+                dim,
+                k,
+                margin,
+                bounds_valid,
+                start,
+                lab,
+                up,
+                lo,
+            );
         });
     } else {
-        assign_chunk(data, centroids, ct, dim, k, margin, bounds_valid, 0, labels, upper, lower);
+        assign_chunk(
+            data,
+            centroids,
+            ct,
+            dim,
+            k,
+            margin,
+            bounds_valid,
+            0,
+            labels,
+            upper,
+            lower,
+        );
     }
 }
 
@@ -458,8 +485,7 @@ fn assign_chunk(
             }
             // Tighten the upper bound with one exact distance and retry.
             let label = labels[off];
-            let tight =
-                squared_distance(point, &centroids[label * dim..(label + 1) * dim]).sqrt();
+            let tight = squared_distance(point, &centroids[label * dim..(label + 1) * dim]).sqrt();
             upper[off] = tight;
             if tight + margin <= lower[off] {
                 continue;
@@ -550,7 +576,10 @@ fn update_centroids(
         }
         movement += delta;
         moves[c] = delta.sqrt();
-        for (cur, s) in centroids[slot].iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
+        for (cur, s) in centroids[slot]
+            .iter_mut()
+            .zip(&sums[c * dim..(c + 1) * dim])
+        {
             *cur = s * inv;
         }
     }
@@ -602,7 +631,13 @@ fn init_plus_plus_cached(
     rng: &mut SmallRng,
     scratch: &mut KMeansScratch,
 ) -> Vec<f64> {
-    let KMeansScratch { d2, seed_rows, row_scratch, soa, .. } = scratch;
+    let KMeansScratch {
+        d2,
+        seed_rows,
+        row_scratch,
+        soa,
+        ..
+    } = scratch;
     ensure_soa(data, soa);
     let first = rng.gen_range(0..data.len());
     let mut centroids = Vec::with_capacity(k * data.dim());
@@ -756,7 +791,9 @@ mod tests {
         let data = blobs();
         let r = kmeans(
             &data,
-            &KMeansConfig::new(2).with_seed(3).with_init(InitMethod::Random),
+            &KMeansConfig::new(2)
+                .with_seed(3)
+                .with_init(InitMethod::Random),
         );
         assert!(r.wcss < 1.0);
     }
@@ -866,7 +903,10 @@ mod tests {
             (0..400)
                 .map(|i| {
                     let c = (i % 4) as f64 * 50.0;
-                    vec![c + ((i * 13) % 17) as f64 * 0.1, c - ((i * 7) % 11) as f64 * 0.1]
+                    vec![
+                        c + ((i * 13) % 17) as f64 * 0.1,
+                        c - ((i * 7) % 11) as f64 * 0.1,
+                    ]
                 })
                 .collect(),
         );

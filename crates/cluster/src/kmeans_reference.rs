@@ -86,7 +86,10 @@ impl ReferenceKMeans {
                     delta += d * d;
                 }
                 movement += delta;
-                for (cur, s) in centroids[slot].iter_mut().zip(&sums[c * dim..(c + 1) * dim]) {
+                for (cur, s) in centroids[slot]
+                    .iter_mut()
+                    .zip(&sums[c * dim..(c + 1) * dim])
+                {
                     *cur = s * inv;
                 }
             }
@@ -101,7 +104,10 @@ impl ReferenceKMeans {
             wcss += squared_distance(point, &centroids[labels[i] * dim..(labels[i] + 1) * dim]);
         }
         KMeansResult {
-            centroids: centroids.chunks_exact(dim.max(1)).map(<[f64]>::to_vec).collect(),
+            centroids: centroids
+                .chunks_exact(dim.max(1))
+                .map(<[f64]>::to_vec)
+                .collect(),
             labels,
             wcss,
             iterations,
@@ -131,7 +137,13 @@ impl ReferenceKMeans {
             Self::kmeans(data, &KMeansConfig { seed, ..*config })
         });
         runs.into_iter()
-            .reduce(|best, candidate| if candidate.wcss < best.wcss { candidate } else { best })
+            .reduce(|best, candidate| {
+                if candidate.wcss < best.wcss {
+                    candidate
+                } else {
+                    best
+                }
+            })
             .expect("restarts >= 1")
     }
 
@@ -260,7 +272,8 @@ fn assign_labels(data: &PointMatrix, centroids: &[f64], labels: &mut [usize]) {
     // which spawning threads costs more than it saves.
     const PAR_WORK: usize = 1 << 20;
     if n * k * dim >= PAR_WORK {
-        let out = megsim_exec::par_map_range(n, |i| nearest_centroid(data.row(i), centroids, dim).0);
+        let out =
+            megsim_exec::par_map_range(n, |i| nearest_centroid(data.row(i), centroids, dim).0);
         labels.copy_from_slice(&out);
     } else {
         for (i, point) in data.iter_rows().enumerate() {

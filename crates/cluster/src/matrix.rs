@@ -29,7 +29,11 @@ pub struct PointMatrix {
 impl PointMatrix {
     /// An empty matrix whose rows will have `dim` columns.
     pub fn new(dim: usize) -> Self {
-        PointMatrix { data: Vec::new(), dim, rows: 0 }
+        PointMatrix {
+            data: Vec::new(),
+            dim,
+            rows: 0,
+        }
     }
 
     /// An empty matrix with storage reserved for `rows` rows.
@@ -234,7 +238,10 @@ impl SoaPoints {
         js: std::ops::Range<usize>,
         out: &mut [f64],
     ) {
-        assert!(is.end <= self.n && js.end <= self.n, "tile range out of bounds");
+        assert!(
+            is.end <= self.n && js.end <= self.n,
+            "tile range out of bounds"
+        );
         let (h, w) = (is.len(), js.len());
         let tile = &mut out[..h * w];
         let n = self.n;

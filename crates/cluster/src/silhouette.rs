@@ -49,7 +49,10 @@ impl std::fmt::Display for SilhouetteError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SilhouetteError::LengthMismatch { points, labels } => {
-                write!(f, "clustering labels {labels} points but the dataset has {points}")
+                write!(
+                    f,
+                    "clustering labels {labels} points but the dataset has {points}"
+                )
             }
             SilhouetteError::EmptyData => write!(f, "cannot score an empty dataset"),
             SilhouetteError::MaxKTooSmall(max_k) => {
@@ -94,10 +97,9 @@ pub fn try_silhouette_score(
     // adds them in the same fixed sequence at any thread count (and a
     // skipped point's 0.0 cannot perturb the sum: every partial total
     // is non-negative-zero, and x + 0.0 ≡ x).
-    let contributions =
-        megsim_exec::par_map_chunks(n, POINT_CHUNK, |is| {
-            silhouette_chunk(&soa, &result.labels, &sizes, k, is)
-        });
+    let contributions = megsim_exec::par_map_chunks(n, POINT_CHUNK, |is| {
+        silhouette_chunk(&soa, &result.labels, &sizes, k, is)
+    });
     let mut total = 0.0;
     for chunk in &contributions {
         for &c in chunk {
@@ -225,8 +227,11 @@ pub fn try_best_by_silhouette(
     let mut scratch = KMeansScratch::default();
     let mut best: Option<(KMeansResult, f64)> = None;
     for k in 2..=max_k.min(data.len()) {
-        let result =
-            kmeans_with_scratch(data, &KMeansConfig::new(k).with_seed(seed ^ k as u64), &mut scratch);
+        let result = kmeans_with_scratch(
+            data,
+            &KMeansConfig::new(k).with_seed(seed ^ k as u64),
+            &mut scratch,
+        );
         let score = try_silhouette_score(data, &result)?;
         #[allow(clippy::unnecessary_map_or)]
         let better = best.as_ref().map_or(true, |(_, s)| score > *s);
@@ -243,11 +248,7 @@ pub fn try_best_by_silhouette(
 /// # Panics
 ///
 /// Panics if `data` is empty or `max_k < 2`.
-pub fn best_by_silhouette(
-    data: &PointMatrix,
-    max_k: usize,
-    seed: u64,
-) -> (KMeansResult, f64) {
+pub fn best_by_silhouette(data: &PointMatrix, max_k: usize, seed: u64) -> (KMeansResult, f64) {
     match try_best_by_silhouette(data, max_k, seed) {
         Ok(best) => best,
         Err(SilhouetteError::MaxKTooSmall(m)) => {
@@ -331,7 +332,10 @@ mod tests {
         r.labels.pop();
         assert_eq!(
             try_silhouette_score(&data, &r),
-            Err(SilhouetteError::LengthMismatch { points: 24, labels: 23 })
+            Err(SilhouetteError::LengthMismatch {
+                points: 24,
+                labels: 23
+            })
         );
     }
 

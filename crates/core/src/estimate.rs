@@ -54,7 +54,10 @@ pub fn estimate_totals<'a>(
     representatives: &[Representative],
     mut stats_of: impl FnMut(usize) -> &'a FrameStats,
 ) -> FrameStats {
-    assert!(!representatives.is_empty(), "no representatives to estimate from");
+    assert!(
+        !representatives.is_empty(),
+        "no representatives to estimate from"
+    );
     let mut total = FrameStats::default();
     for rep in representatives {
         total.merge(&stats_of(rep.frame_index).scaled(rep.cluster_size as u64));

@@ -359,7 +359,10 @@ mod tests {
     fn identical_content_hashes_identically() {
         // Distinct allocations, same content: the fingerprint must be
         // content-addressed, not identity-addressed.
-        assert_eq!(frame_fingerprint(&frame_with(0.25)), frame_fingerprint(&frame_with(0.25)));
+        assert_eq!(
+            frame_fingerprint(&frame_with(0.25)),
+            frame_fingerprint(&frame_with(0.25))
+        );
     }
 
     #[test]
@@ -379,7 +382,10 @@ mod tests {
 
     #[test]
     fn empty_frame_differs_from_nonempty() {
-        assert_ne!(frame_fingerprint(&Frame::new()), frame_fingerprint(&frame_with(0.5)));
+        assert_ne!(
+            frame_fingerprint(&Frame::new()),
+            frame_fingerprint(&frame_with(0.5))
+        );
     }
 
     #[test]

@@ -81,9 +81,21 @@ pub fn normalize(matrix: &FeatureMatrix, weights: &GroupWeights) -> PointMatrix 
         }
     }
     let scale = [
-        if mass[0] > 0.0 { weights.geometry / mass[0] } else { 0.0 },
-        if mass[1] > 0.0 { weights.raster / mass[1] } else { 0.0 },
-        if mass[2] > 0.0 { weights.tiling / mass[2] } else { 0.0 },
+        if mass[0] > 0.0 {
+            weights.geometry / mass[0]
+        } else {
+            0.0
+        },
+        if mass[1] > 0.0 {
+            weights.raster / mass[1]
+        } else {
+            0.0
+        },
+        if mass[2] > 0.0 {
+            weights.tiling / mass[2]
+        } else {
+            0.0
+        },
     ];
     // One linear pass over the flat buffer; the column index cycles
     // modulo `d`.
@@ -114,7 +126,10 @@ mod tests {
 
     fn matrix() -> FeatureMatrix {
         FeatureMatrix::from_rows(
-            vec![vec![1.0, 3.0, 10.0, 30.0, 5.0], vec![2.0, 2.0, 20.0, 20.0, 15.0]],
+            vec![
+                vec![1.0, 3.0, 10.0, 30.0, 5.0],
+                vec![2.0, 2.0, 20.0, 20.0, 15.0],
+            ],
             2,
             2,
         )

@@ -120,7 +120,12 @@ mod tests {
         let sel = select_representatives(&two_phase_matrix(), &MegsimConfig::default());
         // T = 0.85 may refine each phase into sub-clusters, but no
         // cluster may mix the two phases (they are far apart).
-        assert!(sel.k() >= 2 && sel.k() <= 8, "k = {} bic = {:?}", sel.k(), sel.bic_scores);
+        assert!(
+            sel.k() >= 2 && sel.k() <= 8,
+            "k = {} bic = {:?}",
+            sel.k(),
+            sel.bic_scores
+        );
         assert_eq!(sel.labels.len(), 60);
         let sizes: Vec<usize> = sel.representatives.iter().map(|r| r.cluster_size).collect();
         assert_eq!(sizes.iter().sum::<usize>(), 60);
@@ -164,12 +169,10 @@ mod tests {
         // identity with the seed implementation, so these values may
         // only change when the methodology itself (seeding, stop rule,
         // threshold) deliberately changes — never from an optimization.
-        let sel =
-            select_representatives(&two_phase_matrix(), &MegsimConfig::paper().with_seed(42));
+        let sel = select_representatives(&two_phase_matrix(), &MegsimConfig::paper().with_seed(42));
         assert_eq!(sel.k(), 7);
         let expected_period = [5, 2, 4, 2, 5, 6, 0, 1, 0, 3, 4, 2, 4, 3, 0, 1, 0, 6];
-        let expected_labels: Vec<usize> =
-            (0..60).map(|i| expected_period[i % 18]).collect();
+        let expected_labels: Vec<usize> = (0..60).map(|i| expected_period[i % 18]).collect();
         assert_eq!(sel.labels, expected_labels);
         let reps: Vec<(usize, usize)> = sel
             .representatives
@@ -178,7 +181,15 @@ mod tests {
             .collect();
         assert_eq!(
             reps,
-            vec![(8, 12), (51, 6), (39, 11), (45, 6), (12, 10), (54, 8), (59, 7)]
+            vec![
+                (8, 12),
+                (51, 6),
+                (39, 11),
+                (45, 6),
+                (12, 10),
+                (54, 8),
+                (59, 7)
+            ]
         );
         assert_eq!(sel.bic_scores.len(), 22);
         let selected = sel.bic_scores[sel.k() - 1];
@@ -196,7 +207,10 @@ mod tests {
         let mut runs = Vec::new();
         for threads in [1usize, 2, 8] {
             megsim_exec::set_threads(threads);
-            runs.push(select_representatives(&m, &MegsimConfig::default().with_seed(42)));
+            runs.push(select_representatives(
+                &m,
+                &MegsimConfig::default().with_seed(42),
+            ));
         }
         megsim_exec::set_threads(0);
         for pair in runs.windows(2) {

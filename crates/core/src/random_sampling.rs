@@ -72,9 +72,7 @@ pub fn max_error_at_confidence(
         samples.iter().map(score).collect()
     };
     errors.sort_by(|a, b| a.partial_cmp(b).expect("finite errors"));
-    let idx = ((errors.len() as f64 * confidence).ceil() as usize)
-        .clamp(1, errors.len())
-        - 1;
+    let idx = ((errors.len() as f64 * confidence).ceil() as usize).clamp(1, errors.len()) - 1;
     errors[idx]
 }
 

@@ -262,9 +262,12 @@ mod tests {
         let m = SimilarityMatrix::from_points(&frames);
         for i in (0..131).step_by(13) {
             for j in (i..131).step_by(7) {
-                let expected =
-                    megsim_cluster::euclidean_distance(frames.row(i), frames.row(j));
-                assert_eq!(m.distance(i, j).to_bits(), expected.to_bits(), "pair ({i}, {j})");
+                let expected = megsim_cluster::euclidean_distance(frames.row(i), frames.row(j));
+                assert_eq!(
+                    m.distance(i, j).to_bits(),
+                    expected.to_bits(),
+                    "pair ({i}, {j})"
+                );
             }
         }
     }

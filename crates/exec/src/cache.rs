@@ -144,7 +144,7 @@ mod tests {
     #[test]
     fn capacity_bounds_inserts_per_shard() {
         let cache = ConcurrentCache::new(SHARDS); // 1 entry per shard
-        // Keys differing only in low bits land in the same shard.
+                                                  // Keys differing only in low bits land in the same shard.
         cache.insert(1, 1u64);
         cache.insert(2, 2u64);
         assert_eq!(cache.lookup(1), Some(1));

@@ -174,6 +174,31 @@ where
     par_map_range(chunks, |c| f(c * chunk..((c + 1) * chunk).min(n)))
 }
 
+/// Maps `0..n` in fixed-size chunks through `f(range)` on the worker
+/// pool and flattens the per-chunk vectors into one `Vec` in index
+/// order.
+///
+/// This is the batch-generation shape: `f` produces one output per
+/// index of its chunk (e.g. one synthesized frame per frame index),
+/// and because the chunk boundaries depend only on `n` and `chunk`,
+/// the concatenated output is bit-identical at every thread count.
+///
+/// # Panics
+///
+/// Panics if `chunk` is zero.
+pub fn par_flat_map_chunks<U, F>(n: usize, chunk: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<U> + Sync,
+{
+    let chunks = par_map_chunks(n, chunk, f);
+    let mut out = Vec::with_capacity(n);
+    for part in chunks {
+        out.extend(part);
+    }
+    out
+}
+
 /// Consumes a vector of independent work items on the worker pool,
 /// work-stealing one item at a time.
 ///
@@ -329,6 +354,23 @@ mod tests {
             outputs.push(sums);
         }
         set_threads(0);
+        for pair in outputs.windows(2) {
+            assert_eq!(pair[0], pair[1]);
+        }
+    }
+
+    #[test]
+    fn par_flat_map_chunks_flattens_in_index_order() {
+        let _guard = OVERRIDE_LOCK.lock();
+        let mut outputs = Vec::new();
+        for threads in [1usize, 4, 8] {
+            set_threads(threads);
+            outputs.push(par_flat_map_chunks(103, 10, |r| {
+                r.map(|i| i * 7).collect::<Vec<usize>>()
+            }));
+        }
+        set_threads(0);
+        assert_eq!(outputs[0], (0..103).map(|i| i * 7).collect::<Vec<_>>());
         for pair in outputs.windows(2) {
             assert_eq!(pair[0], pair[1]);
         }

@@ -217,12 +217,15 @@ mod tests {
     fn stateful_fold_matches_sequential() {
         let _guard = OVERRIDE_LOCK.lock();
         // A deliberately order-sensitive fold: the warm-GPU shape.
-        let fold = |acc: u64, i: usize, v: u64| {
-            acc.rotate_left((i % 13) as u32) ^ v
-        };
+        let fold = |acc: u64, i: usize, v: u64| acc.rotate_left((i % 13) as u32) ^ v;
         set_threads(1);
         let mut expect = 0u64;
-        ordered_pipeline(500, 8, |i| i as u64 * 31, |i, v| expect = fold(expect, i, v));
+        ordered_pipeline(
+            500,
+            8,
+            |i| i as u64 * 31,
+            |i, v| expect = fold(expect, i, v),
+        );
         set_threads(6);
         let mut got = 0u64;
         ordered_pipeline(500, 8, |i| i as u64 * 31, |i, v| got = fold(got, i, v));

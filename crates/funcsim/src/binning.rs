@@ -152,11 +152,7 @@ pub fn bin_primitives(
             }
         }
     }
-    activity.tiles_touched += bins
-        .offsets
-        .windows(2)
-        .filter(|w| w[1] > w[0])
-        .count() as u64;
+    activity.tiles_touched += bins.offsets.windows(2).filter(|w| w[1] > w[0]).count() as u64;
     bins
 }
 

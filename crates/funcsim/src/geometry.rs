@@ -119,10 +119,8 @@ pub fn process_draw(
     }
     activity.vertices_fetched += mesh.indices.len() as u64;
     activity.vertices_shaded += u64::from(vertices_shaded);
-    activity.vertex_shader_invocations[draw.vertex_shader.0 as usize] +=
-        u64::from(vertices_shaded);
-    activity.vertex_instructions +=
-        u64::from(vertices_shaded) * u64::from(vs.instruction_count());
+    activity.vertex_shader_invocations[draw.vertex_shader.0 as usize] += u64::from(vertices_shaded);
+    activity.vertex_instructions += u64::from(vertices_shaded) * u64::from(vs.instruction_count());
 
     // --- Primitive Assembly + clip/cull ------------------------------
     let tri_count = mesh.triangle_count();
@@ -222,7 +220,15 @@ mod tests {
         let draw = draw_of(ccw_tri(), Mat4::IDENTITY);
         let viewport = Viewport::new(100, 100, 32);
         let mut act = FrameActivity::new(1, 1);
-        let out = process_draw(&draw, 0, viewport, &table(), &mut act, true, &mut GeomScratch::default());
+        let out = process_draw(
+            &draw,
+            0,
+            viewport,
+            &table(),
+            &mut act,
+            true,
+            &mut GeomScratch::default(),
+        );
         assert_eq!(out.prims.len(), 1);
         assert_eq!(act.primitives_emitted, 1);
         assert_eq!(act.vertices_shaded, 3);
@@ -239,7 +245,15 @@ mod tests {
         mesh.indices = vec![0, 2, 1]; // reverse winding
         let draw = draw_of(mesh, Mat4::IDENTITY);
         let mut act = FrameActivity::new(1, 1);
-        let out = process_draw(&draw, 0, Viewport::new(100, 100, 32), &table(), &mut act, false, &mut GeomScratch::default());
+        let out = process_draw(
+            &draw,
+            0,
+            Viewport::new(100, 100, 32),
+            &table(),
+            &mut act,
+            false,
+            &mut GeomScratch::default(),
+        );
         assert!(out.prims.is_empty());
         assert_eq!(act.primitives_culled_backface, 1);
     }
@@ -248,7 +262,15 @@ mod tests {
     fn offscreen_triangle_is_clipped() {
         let draw = draw_of(ccw_tri(), Mat4::translation(Vec3::new(10.0, 0.0, 0.0)));
         let mut act = FrameActivity::new(1, 1);
-        let out = process_draw(&draw, 0, Viewport::new(100, 100, 32), &table(), &mut act, false, &mut GeomScratch::default());
+        let out = process_draw(
+            &draw,
+            0,
+            Viewport::new(100, 100, 32),
+            &table(),
+            &mut act,
+            false,
+            &mut GeomScratch::default(),
+        );
         assert!(out.prims.is_empty());
         assert_eq!(act.primitives_clipped, 1);
     }
@@ -266,7 +288,15 @@ mod tests {
         );
         let draw = draw_of(mesh, Mat4::IDENTITY);
         let mut act = FrameActivity::new(1, 1);
-        let out = process_draw(&draw, 0, Viewport::new(100, 100, 32), &table(), &mut act, false, &mut GeomScratch::default());
+        let out = process_draw(
+            &draw,
+            0,
+            Viewport::new(100, 100, 32),
+            &table(),
+            &mut act,
+            false,
+            &mut GeomScratch::default(),
+        );
         assert!(out.prims.is_empty());
         assert_eq!(act.primitives_culled_degenerate, 1);
     }
@@ -286,7 +316,15 @@ mod tests {
         );
         let draw = draw_of(mesh, Mat4::IDENTITY);
         let mut act = FrameActivity::new(1, 1);
-        let _ = process_draw(&draw, 0, Viewport::new(64, 64, 32), &table(), &mut act, false, &mut GeomScratch::default());
+        let _ = process_draw(
+            &draw,
+            0,
+            Viewport::new(64, 64, 32),
+            &table(),
+            &mut act,
+            false,
+            &mut GeomScratch::default(),
+        );
         assert_eq!(act.vertices_fetched, 6);
         assert_eq!(act.vertices_shaded, 4);
     }
@@ -298,7 +336,15 @@ mod tests {
         let model = Mat4::translation(Vec3::new(0.0, 0.0, 1.0));
         let draw = draw_of(ccw_tri(), proj * model);
         let mut act = FrameActivity::new(1, 1);
-        let out = process_draw(&draw, 0, Viewport::new(64, 64, 32), &table(), &mut act, false, &mut GeomScratch::default());
+        let out = process_draw(
+            &draw,
+            0,
+            Viewport::new(64, 64, 32),
+            &table(),
+            &mut act,
+            false,
+            &mut GeomScratch::default(),
+        );
         assert!(out.prims.is_empty());
         assert_eq!(act.primitives_clipped, 1);
     }

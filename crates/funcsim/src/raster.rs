@@ -220,9 +220,11 @@ fn rasterize_tiles(
         let ty = tile_index / tiles_x;
         let rect = viewport.tile_rect(tx, ty);
         let origin = (rect.0, rect.1);
-        scratch
-            .depth
-            .reset(viewport.tile_size, viewport.tile_size, hidden_surface_removal);
+        scratch.depth.reset(
+            viewport.tile_size,
+            viewport.tile_size,
+            hidden_surface_removal,
+        );
         let prims_out = if hidden_surface_removal {
             rasterize_tile_hsr(
                 frame,
@@ -526,7 +528,14 @@ pub(crate) fn count_prim(
         covered += u64::from(q.covered_count());
         visible += u64::from(q.visible_count());
     }
-    count_prim_totals(draw, quads.len() as u64, covered, visible, shaders, activity);
+    count_prim_totals(
+        draw,
+        quads.len() as u64,
+        covered,
+        visible,
+        shaders,
+        activity,
+    );
 }
 
 /// [`count_prim`] on pre-aggregated totals (the no-trace fast path
@@ -600,8 +609,8 @@ pub(crate) fn texture_lod(prim: &Primitive, tex_w: u32, tex_h: u32) -> u32 {
     let dudy = v0.uv.x * dw0.y + v1.uv.x * dw1.y + v2.uv.x * dw2.y;
     let dvdx = v0.uv.y * dw0.x + v1.uv.y * dw1.x + v2.uv.y * dw2.x;
     let dvdy = v0.uv.y * dw0.y + v1.uv.y * dw1.y + v2.uv.y * dw2.y;
-    let texels_per_px = (dudx.abs().max(dudy.abs()) * tex_w as f32)
-        .max(dvdx.abs().max(dvdy.abs()) * tex_h as f32);
+    let texels_per_px =
+        (dudx.abs().max(dudy.abs()) * tex_w as f32).max(dvdx.abs().max(dvdy.abs()) * tex_h as f32);
     if texels_per_px <= 1.0 {
         0
     } else {

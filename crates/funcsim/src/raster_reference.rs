@@ -55,7 +55,12 @@ pub fn render_frame_reference(
     let bins = if mode == RenderMode::Immediate {
         TileBins::empty()
     } else {
-        bin_primitives(&transformed, viewport, &mut activity, &mut BinScratch::default())
+        bin_primitives(
+            &transformed,
+            viewport,
+            &mut activity,
+            &mut BinScratch::default(),
+        )
     };
     let tiles = rasterize_frame_reference(
         frame,
@@ -137,7 +142,11 @@ fn rasterize_tiles(
                 deferred.push(pi);
                 continue;
             }
-            let winner_seq = if hidden_surface_removal { Some(pi) } else { None };
+            let winner_seq = if hidden_surface_removal {
+                Some(pi)
+            } else {
+                None
+            };
             let mut quads = Vec::new();
             rasterize_prim(
                 &binned.prim,
@@ -382,7 +391,12 @@ mod tests {
 
     /// A draw whose mesh holds `tris` CCW screen-space-ish triangles in
     /// NDC (identity transform maps NDC straight to the viewport).
-    fn draw_of(tris: &[[(f32, f32, f32); 3]], fs: u32, blend: BlendMode, depth_test: bool) -> DrawCall {
+    fn draw_of(
+        tris: &[[(f32, f32, f32); 3]],
+        fs: u32,
+        blend: BlendMode,
+        depth_test: bool,
+    ) -> DrawCall {
         let mut vertices = Vec::new();
         let mut indices = Vec::new();
         for t in tris {
@@ -409,9 +423,7 @@ mod tests {
     fn tri_strategy() -> impl Strategy<Value = [(f32, f32, f32); 3]> {
         let v = (-1.2f32..1.2, -1.2f32..1.2);
         (v.clone(), v.clone(), v, 0.05f32..0.95)
-            .prop_map(|((x0, y0), (x1, y1), (x2, y2), z)| {
-                [(x0, y0, z), (x1, y1, z), (x2, y2, z)]
-            })
+            .prop_map(|((x0, y0), (x1, y1), (x2, y2), z)| [(x0, y0, z), (x1, y1, z), (x2, y2, z)])
     }
 
     fn frame_strategy() -> impl Strategy<Value = Frame> {

@@ -41,12 +41,12 @@ fn quad_mesh() -> Arc<Mesh> {
 fn scene_strategy() -> impl Strategy<Value = Frame> {
     prop::collection::vec(
         (
-            -0.9f32..0.9,       // x
-            -0.9f32..0.9,       // y
-            -0.9f32..0.9,       // depth layer
-            0.05f32..0.6,       // size
-            prop::bool::ANY,    // textured
-            prop::bool::ANY,    // blended
+            -0.9f32..0.9,    // x
+            -0.9f32..0.9,    // y
+            -0.9f32..0.9,    // depth layer
+            0.05f32..0.6,    // size
+            prop::bool::ANY, // textured
+            prop::bool::ANY, // blended
         ),
         1..8,
     )

@@ -111,7 +111,10 @@ impl Viewport {
     ///
     /// Panics if any dimension is zero.
     pub fn new(width: u32, height: u32, tile_size: u32) -> Self {
-        assert!(width > 0 && height > 0 && tile_size > 0, "viewport dimensions must be non-zero");
+        assert!(
+            width > 0 && height > 0 && tile_size > 0,
+            "viewport dimensions must be non-zero"
+        );
         Self {
             width,
             height,

@@ -49,12 +49,13 @@ impl Mesh {
     /// Panics if the index count is not a multiple of 3 or an index is
     /// out of bounds.
     pub fn new(vertices: Vec<Vertex>, indices: Vec<u32>, base_address: u64) -> Self {
-        assert_eq!(indices.len() % 3, 0, "triangle list length must be a multiple of 3");
-        let n = vertices.len() as u32;
-        assert!(
-            indices.iter().all(|&i| i < n),
-            "mesh index out of bounds"
+        assert_eq!(
+            indices.len() % 3,
+            0,
+            "triangle list length must be a multiple of 3"
         );
+        let n = vertices.len() as u32;
+        assert!(indices.iter().all(|&i| i < n), "mesh index out of bounds");
         Self {
             vertices,
             indices,

@@ -135,7 +135,10 @@ impl ShaderProgram {
 
     /// Number of texture-memory accesses one invocation performs.
     pub fn texture_memory_accesses(&self) -> u32 {
-        self.texture_samples.iter().map(|f| f.memory_accesses()).sum()
+        self.texture_samples
+            .iter()
+            .map(|f| f.memory_accesses())
+            .sum()
     }
 }
 

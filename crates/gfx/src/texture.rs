@@ -36,8 +36,14 @@ impl TextureDesc {
     /// Panics if the dimensions are not powers of two or zero, which
     /// would break the wrap-around addressing below.
     pub fn new(id: u32, width: u32, height: u32, bytes_per_texel: u32, base_address: u64) -> Self {
-        assert!(width.is_power_of_two(), "texture width must be a power of two");
-        assert!(height.is_power_of_two(), "texture height must be a power of two");
+        assert!(
+            width.is_power_of_two(),
+            "texture width must be a power of two"
+        );
+        assert!(
+            height.is_power_of_two(),
+            "texture height must be a power of two"
+        );
         assert!(bytes_per_texel > 0, "texel size must be non-zero");
         Self {
             id: TextureId(id),
@@ -266,7 +272,10 @@ impl LevelParams {
     #[inline]
     fn quad_runs(&self, x: i64, y: i64, bpt: u64, line_size: u64, emit: &mut impl FnMut(u64, u64)) {
         let block_bytes = 16 * bpt;
-        if block_bytes <= line_size && self.base.is_multiple_of(block_bytes) && self.x_pair_in_block(x) {
+        if block_bytes <= line_size
+            && self.base.is_multiple_of(block_bytes)
+            && self.x_pair_in_block(x)
+        {
             if self.y_pair_in_block(y) {
                 emit(self.texel_address(x, y, bpt), 4);
                 return;
@@ -360,7 +369,8 @@ impl LodSampler {
             TextureFilter::Bilinear => self.near.quad_runs(x, y, bpt, line_size, &mut emit),
             TextureFilter::Trilinear => {
                 self.near.quad_runs(x, y, bpt, line_size, &mut emit);
-                self.far.quad_runs(x >> 1, y >> 1, bpt, line_size, &mut emit);
+                self.far
+                    .quad_runs(x >> 1, y >> 1, bpt, line_size, &mut emit);
             }
         }
     }
@@ -484,7 +494,11 @@ mod tests {
         // entirely inside a block touches one line.
         let t = tex();
         let mut out = Vec::new();
-        t.sample_addresses(Vec2::new(1.5 / 64.0, 1.5 / 64.0), TextureFilter::Bilinear, &mut out);
+        t.sample_addresses(
+            Vec2::new(1.5 / 64.0, 1.5 / 64.0),
+            TextureFilter::Bilinear,
+            &mut out,
+        );
         let lines: std::collections::HashSet<u64> = out.iter().map(|a| a / 64).collect();
         assert_eq!(lines.len(), 1);
     }

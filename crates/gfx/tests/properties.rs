@@ -129,6 +129,9 @@ fn perspective_divide_recovers_affine_points() {
     for z in [-1.0f32, -5.0, -40.0] {
         let clip = proj.transform_point(Vec3::new(0.1 * z.abs(), -0.05 * z.abs(), z));
         let ndc = clip.perspective_divide();
-        assert!(ndc.x.abs() <= 1.0 && ndc.y.abs() <= 1.0 && ndc.z.abs() <= 1.0, "z = {z}: {ndc:?}");
+        assert!(
+            ndc.x.abs() <= 1.0 && ndc.y.abs() <= 1.0 && ndc.z.abs() <= 1.0,
+            "z = {z}: {ndc:?}"
+        );
     }
 }

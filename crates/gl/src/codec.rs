@@ -68,8 +68,14 @@ pub fn encode(stream: &CommandStream) -> Bytes {
                 out.put_u32_le(mesh.vertices.len() as u32);
                 for v in &mesh.vertices {
                     for f in [
-                        v.position.x, v.position.y, v.position.z, v.normal.x, v.normal.y,
-                        v.normal.z, v.uv.x, v.uv.y,
+                        v.position.x,
+                        v.position.y,
+                        v.position.z,
+                        v.normal.x,
+                        v.normal.y,
+                        v.normal.z,
+                        v.uv.x,
+                        v.uv.y,
                     ] {
                         out.put_f32_le(f);
                     }

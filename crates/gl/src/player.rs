@@ -100,8 +100,7 @@ pub fn play(stream: &CommandStream) -> Result<Replay, PlayError> {
                 let mesh = buffers
                     .get(buffer)
                     .ok_or(PlayError::UnknownBuffer(*buffer))?;
-                let (vertex_shader, fragment_shader) =
-                    program.ok_or(PlayError::NoProgramBound)?;
+                let (vertex_shader, fragment_shader) = program.ok_or(PlayError::NoProgramBound)?;
                 current.draws.push(DrawCall {
                     mesh: Arc::clone(mesh),
                     transform: matrix,
@@ -160,8 +159,7 @@ mod tests {
                         transform: Mat4::translation(Vec3::new(j as f32 * 0.1, 0.0, 0.0)),
                         vertex_shader: ShaderId(j as u32 % 2),
                         fragment_shader: ShaderId(0),
-                        texture: (j % 2 == 0)
-                            .then(|| TextureDesc::new(0, 64, 64, 4, 0x1000)),
+                        texture: (j % 2 == 0).then(|| TextureDesc::new(0, 64, 64, 4, 0x1000)),
                         blend: if j % 2 == 0 {
                             BlendMode::Opaque
                         } else {
@@ -216,8 +214,15 @@ mod tests {
     #[test]
     fn unknown_buffer_is_rejected() {
         let mut s = CommandStream::new();
-        s.commands.push(Command::ProgramData(ShaderProgram::vertex(0, "v", 1)));
-        s.commands.push(Command::ProgramData(ShaderProgram::fragment(0, "f", 1, vec![])));
+        s.commands
+            .push(Command::ProgramData(ShaderProgram::vertex(0, "v", 1)));
+        s.commands
+            .push(Command::ProgramData(ShaderProgram::fragment(
+                0,
+                "f",
+                1,
+                vec![],
+            )));
         s.commands.push(Command::UseProgram {
             vertex: ShaderId(0),
             fragment: ShaderId(0),
@@ -230,8 +235,7 @@ mod tests {
     #[test]
     fn unknown_texture_is_rejected() {
         let mut s = CommandStream::new();
-        s.commands
-            .push(Command::BindTexture(Some(TextureId(3))));
+        s.commands.push(Command::BindTexture(Some(TextureId(3))));
         let err = play(&s).unwrap_err();
         assert_eq!(err, PlayError::UnknownTexture(TextureId(3)));
     }
@@ -239,7 +243,8 @@ mod tests {
     #[test]
     fn non_contiguous_program_upload_is_rejected() {
         let mut s = CommandStream::new();
-        s.commands.push(Command::ProgramData(ShaderProgram::vertex(1, "v", 1)));
+        s.commands
+            .push(Command::ProgramData(ShaderProgram::vertex(1, "v", 1)));
         assert_eq!(play(&s).unwrap_err(), PlayError::BadProgramUpload);
     }
 }

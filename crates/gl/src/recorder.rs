@@ -98,7 +98,9 @@ impl Recorder {
         }
         if self.matrix != Some(draw.transform) {
             self.matrix = Some(draw.transform);
-            self.stream.commands.push(Command::UniformMatrix(draw.transform));
+            self.stream
+                .commands
+                .push(Command::UniformMatrix(draw.transform));
         }
         if self.blend != Some(draw.blend) {
             self.blend = Some(draw.blend);
@@ -106,7 +108,9 @@ impl Recorder {
         }
         if self.depth != Some(draw.depth_test) {
             self.depth = Some(draw.depth_test);
-            self.stream.commands.push(Command::DepthTest(draw.depth_test));
+            self.stream
+                .commands
+                .push(Command::DepthTest(draw.depth_test));
         }
         self.stream.commands.push(Command::Draw(buffer));
     }

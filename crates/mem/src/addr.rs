@@ -41,8 +41,7 @@ impl AddressSpace {
     /// same trick drivers use when laying out tile lists).
     pub fn polygon_list_entry(tile_index: u32, n: u64) -> u64 {
         const ENTRIES_PER_TILE_BIN: u64 = 1024;
-        const BIN_STRIDE: u64 =
-            ENTRIES_PER_TILE_BIN * AddressSpace::POLYGON_LIST_ENTRY_BYTES + 64;
+        const BIN_STRIDE: u64 = ENTRIES_PER_TILE_BIN * AddressSpace::POLYGON_LIST_ENTRY_BYTES + 64;
         let slot = n % ENTRIES_PER_TILE_BIN;
         Self::SCENE_BUFFER_BASE
             + u64::from(tile_index) * BIN_STRIDE

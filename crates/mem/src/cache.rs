@@ -49,7 +49,10 @@ impl CacheConfig {
         banks: u32,
         latency: u64,
     ) -> Self {
-        assert!(line_size.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_size.is_power_of_two(),
+            "line size must be a power of two"
+        );
         assert!(ways > 0 && banks > 0, "ways and banks must be non-zero");
         assert_eq!(
             size_bytes % (line_size * u64::from(ways)),

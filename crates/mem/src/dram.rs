@@ -130,7 +130,9 @@ impl AddrMap {
     fn for_config(config: &DramConfig) -> Self {
         let banks = u64::from(config.banks);
         let row_span = config.row_bytes * banks;
-        if config.line_size.is_power_of_two() && banks.is_power_of_two() && row_span.is_power_of_two()
+        if config.line_size.is_power_of_two()
+            && banks.is_power_of_two()
+            && row_span.is_power_of_two()
         {
             Self::Shift {
                 line_shift: config.line_size.trailing_zeros(),
@@ -189,7 +191,10 @@ impl Dram {
                 line_shift,
                 bank_mask,
                 row_shift,
-            } => (((addr >> line_shift) & bank_mask) as usize, addr >> row_shift),
+            } => (
+                ((addr >> line_shift) & bank_mask) as usize,
+                addr >> row_shift,
+            ),
             AddrMap::Divide => {
                 let line = addr / self.config.line_size;
                 let bank = (line % u64::from(self.config.banks)) as usize;
@@ -303,10 +308,7 @@ mod tests {
             assert_eq!(d.bank_and_row(addr), (bank, row));
         }
         // Non-power-of-two geometry keeps the general divide form.
-        let odd = DramConfig {
-            banks: 6,
-            ..config
-        };
+        let odd = DramConfig { banks: 6, ..config };
         assert!(matches!(Dram::new(odd).addr_map, AddrMap::Divide));
     }
 
@@ -327,8 +329,8 @@ mod tests {
         let mut d = Dram::new(DramConfig::default());
         let a = d.access(0, 0, false); // bank 0
         let b = d.access(64, 0, false); // bank 1, issued same cycle
-        // Bank 1's activate overlaps bank 0's; only the 16-cycle burst
-        // serializes on the shared bus.
+                                        // Bank 1's activate overlaps bank 0's; only the 16-cycle burst
+                                        // serializes on the shared bus.
         assert!(b.ready_at > a.ready_at);
         assert_eq!(b.ready_at, a.ready_at + 16);
     }

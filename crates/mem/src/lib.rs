@@ -34,7 +34,7 @@ pub use addr::AddressSpace;
 pub use cache::{Cache, CacheAccess, CacheConfig, CacheStats};
 #[cfg(any(test, feature = "reference"))]
 pub use cache_reference::ReferenceCache;
-#[cfg(any(test, feature = "reference"))]
-pub use hierarchy_reference::{ReferenceDram, ReferenceMemoryHierarchy};
 pub use dram::{Dram, DramAccess, DramConfig, DramStats};
 pub use hierarchy::{HierarchyAccess, MemoryHierarchy, MemoryStats};
+#[cfg(any(test, feature = "reference"))]
+pub use hierarchy_reference::{ReferenceDram, ReferenceMemoryHierarchy};

@@ -126,8 +126,12 @@ impl Gpu {
         let frame_start = self.now;
         let mut unit_busy = UnitBusy::default();
         let geometry_cycles = self.geometry_phase(trace, frame_start, &mut unit_busy);
-        let (raster_cycles, color_accesses, depth_accesses) =
-            self.raster_phase(trace, shaders, frame_start + geometry_cycles, &mut unit_busy);
+        let (raster_cycles, color_accesses, depth_accesses) = self.raster_phase(
+            trace,
+            shaders,
+            frame_start + geometry_cycles,
+            &mut unit_busy,
+        );
         let cycles = geometry_cycles + raster_cycles + self.config.frame_overhead_cycles;
         self.now = frame_start + cycles;
         self.frame_index += 1;
@@ -194,8 +198,7 @@ impl Gpu {
                 i = j;
             }
             // Vertex Processors: scalar, one instruction per cycle.
-            vp_busy +=
-                u64::from(draw.vertices_shaded) * u64::from(draw.vertex_shader_instructions);
+            vp_busy += u64::from(draw.vertices_shaded) * u64::from(draw.vertex_shader_instructions);
             // Primitive Assembly consumes one vertex per cycle.
             pa_clock += u64::from(draw.vertices_shaded) * cfg.prim_assembly_cycles_per_vertex;
         }
@@ -210,8 +213,11 @@ impl Gpu {
         let plb_window = cfg.plb_write_window;
         let mut plb_clock = 0u64;
         let mut traced_entries = 0u64;
-        let tiling_tiles: &[megsim_funcsim::TileTrace] =
-            if trace.mode == RenderMode::Immediate { &[] } else { &trace.tiles };
+        let tiling_tiles: &[megsim_funcsim::TileTrace] = if trace.mode == RenderMode::Immediate {
+            &[]
+        } else {
+            &trace.tiles
+        };
         for tile in tiling_tiles {
             let entries = tile.prims.len() as u64;
             let mut n = 0u64;
@@ -246,7 +252,10 @@ impl Gpu {
         }
         // Bin entries whose primitives produced no fragments in a tile
         // do not appear in the trace; charge their occupancy.
-        plb_clock += trace.activity.tile_bin_entries.saturating_sub(traced_entries);
+        plb_clock += trace
+            .activity
+            .tile_bin_entries
+            .saturating_sub(traced_entries);
 
         busy.vertex_fetch += vf_clock;
         busy.vertex_alu += vp_clock;
@@ -287,7 +296,11 @@ impl Gpu {
             // immediate mode: there are no tile lists to read), as
             // same-line runs like the PLB wrote it.
             let mut list_clock = 0u64;
-            let entries = if immediate { 0 } else { tile.prims.len() as u64 };
+            let entries = if immediate {
+                0
+            } else {
+                tile.prims.len() as u64
+            };
             let mut n = 0u64;
             while n < entries {
                 let addr = AddressSpace::polygon_list_entry(tile.tile_index, n);
@@ -343,7 +356,9 @@ impl Gpu {
                 scratch.samplers.clear();
                 if let Some(texture) = prim.texture.as_ref() {
                     for filter in &fs.texture_samples {
-                        scratch.samplers.push(texture.lod_sampler(*filter, prim.lod));
+                        scratch
+                            .samplers
+                            .push(texture.lod_sampler(*filter, prim.lod));
                     }
                 }
                 let texel = scratch
@@ -382,8 +397,8 @@ impl Gpu {
                         );
                         let acc = self.memory.access(addr, tile_base + earlyz_clock, true);
                         let arrival = acc.ready_at.saturating_sub(tile_base);
-                        earlyz_clock = earlyz_clock
-                            .max(arrival.saturating_sub(self.config.plb_write_window));
+                        earlyz_clock =
+                            earlyz_clock.max(arrival.saturating_sub(self.config.plb_write_window));
                     }
                     let vis = u64::from(quad.visible_count());
                     if vis == 0 {
@@ -426,8 +441,8 @@ impl Gpu {
                         }
                         let acc = self.memory.access(addr, tile_base + blend_clock, true);
                         let arrival = acc.ready_at.saturating_sub(tile_base);
-                        blend_clock = blend_clock
-                            .max(arrival.saturating_sub(self.config.flush_write_window));
+                        blend_clock =
+                            blend_clock.max(arrival.saturating_sub(self.config.flush_write_window));
                     }
                     visible_px += vis;
                 }
@@ -498,7 +513,11 @@ impl Gpu {
         }
         busy.flush += flush_clock;
         self.scratch = scratch;
-        (tile_work_clock.max(flush_clock), color_accesses, depth_accesses)
+        (
+            tile_work_clock.max(flush_clock),
+            color_accesses,
+            depth_accesses,
+        )
     }
 
     /// Issues the texture samples of `vis` fragments of one quad and

@@ -76,8 +76,12 @@ impl ReferenceGpu {
         let frame_start = self.now;
         let mut unit_busy = UnitBusy::default();
         let geometry_cycles = self.geometry_phase(trace, frame_start, &mut unit_busy);
-        let (raster_cycles, color_accesses, depth_accesses) =
-            self.raster_phase(trace, shaders, frame_start + geometry_cycles, &mut unit_busy);
+        let (raster_cycles, color_accesses, depth_accesses) = self.raster_phase(
+            trace,
+            shaders,
+            frame_start + geometry_cycles,
+            &mut unit_busy,
+        );
         let cycles = geometry_cycles + raster_cycles + self.config.frame_overhead_cycles;
         self.now = frame_start + cycles;
         self.frame_index += 1;
@@ -126,8 +130,7 @@ impl ReferenceGpu {
                 }
             }
             // Vertex Processors: scalar, one instruction per cycle.
-            vp_busy +=
-                u64::from(draw.vertices_shaded) * u64::from(draw.vertex_shader_instructions);
+            vp_busy += u64::from(draw.vertices_shaded) * u64::from(draw.vertex_shader_instructions);
             // Primitive Assembly consumes one vertex per cycle.
             pa_clock += u64::from(draw.vertices_shaded) * cfg.prim_assembly_cycles_per_vertex;
         }
@@ -138,8 +141,11 @@ impl ReferenceGpu {
         // no Tiling Engine at all.
         let mut plb_clock = 0u64;
         let mut traced_entries = 0u64;
-        let tiling_tiles: &[megsim_funcsim::TileTrace] =
-            if trace.mode == RenderMode::Immediate { &[] } else { &trace.tiles };
+        let tiling_tiles: &[megsim_funcsim::TileTrace] = if trace.mode == RenderMode::Immediate {
+            &[]
+        } else {
+            &trace.tiles
+        };
         for tile in tiling_tiles {
             for (n, _prim) in tile.prims.iter().enumerate() {
                 let addr = AddressSpace::polygon_list_entry(tile.tile_index, n as u64);
@@ -162,7 +168,10 @@ impl ReferenceGpu {
         }
         // Bin entries whose primitives produced no fragments in a tile
         // do not appear in the trace; charge their occupancy.
-        plb_clock += trace.activity.tile_bin_entries.saturating_sub(traced_entries);
+        plb_clock += trace
+            .activity
+            .tile_bin_entries
+            .saturating_sub(traced_entries);
 
         busy.vertex_fetch += vf_clock;
         busy.vertex_alu += vp_clock;
@@ -247,8 +256,8 @@ impl ReferenceGpu {
                         );
                         let acc = self.memory.access(addr, tile_base + earlyz_clock, true);
                         let arrival = acc.ready_at.saturating_sub(tile_base);
-                        earlyz_clock = earlyz_clock
-                            .max(arrival.saturating_sub(self.config.plb_write_window));
+                        earlyz_clock =
+                            earlyz_clock.max(arrival.saturating_sub(self.config.plb_write_window));
                     }
                     let vis = u64::from(quad.visible_count());
                     if vis == 0 {
@@ -286,8 +295,8 @@ impl ReferenceGpu {
                         }
                         let acc = self.memory.access(addr, tile_base + blend_clock, true);
                         let arrival = acc.ready_at.saturating_sub(tile_base);
-                        blend_clock = blend_clock
-                            .max(arrival.saturating_sub(self.config.flush_write_window));
+                        blend_clock =
+                            blend_clock.max(arrival.saturating_sub(self.config.flush_write_window));
                     }
                     visible_px += vis;
                 }
@@ -350,7 +359,11 @@ impl ReferenceGpu {
             }
         }
         busy.flush += flush_clock;
-        (tile_work_clock.max(flush_clock), color_accesses, depth_accesses)
+        (
+            tile_work_clock.max(flush_clock),
+            color_accesses,
+            depth_accesses,
+        )
     }
 
     /// Issues the texture samples of `vis` fragments of one quad and

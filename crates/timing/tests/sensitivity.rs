@@ -106,7 +106,12 @@ fn wider_issue_reduces_cycles_when_alu_bound() {
     vliw.vertex_issue_width = 4;
     let s = simulate(scalar);
     let v = simulate(vliw);
-    assert!(v.cycles <= s.cycles, "vliw {} vs scalar {}", v.cycles, s.cycles);
+    assert!(
+        v.cycles <= s.cycles,
+        "vliw {} vs scalar {}",
+        v.cycles,
+        s.cycles
+    );
 }
 
 #[test]
@@ -135,7 +140,12 @@ fn slower_dram_increases_cycles() {
     slow.dram.bytes_per_cycle = 1;
     let f = simulate(fast);
     let s = simulate(slow);
-    assert!(s.cycles > f.cycles, "slow {} vs fast {}", s.cycles, f.cycles);
+    assert!(
+        s.cycles > f.cycles,
+        "slow {} vs fast {}",
+        s.cycles,
+        f.cycles
+    );
     // Access *counts* are timing-independent.
     assert_eq!(s.l2_accesses(), f.l2_accesses());
 }

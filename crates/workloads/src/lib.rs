@@ -27,7 +27,11 @@
 
 pub mod game;
 pub mod meshes;
+#[cfg(any(test, feature = "reference"))]
+pub mod reference;
 pub mod suite;
 
 pub use game::{GameType, ObjectClass, Segment, SegmentTemplate, Workload, WorkloadSpec};
+#[cfg(any(test, feature = "reference"))]
+pub use reference::ReferenceWorkload;
 pub use suite::{build, by_alias, suite, BenchmarkInfo, BENCHMARKS};

@@ -134,7 +134,13 @@ pub fn gem(n: u32, base_address: u64) -> Arc<Mesh> {
     ];
     for i in 0..n {
         let a = i as f32 / n as f32 * std::f32::consts::TAU;
-        vertices.push(v(a.cos() * 0.5, a.sin() * 0.5, 0.0, i as f32 / n as f32, 0.5));
+        vertices.push(v(
+            a.cos() * 0.5,
+            a.sin() * 0.5,
+            0.0,
+            i as f32 / n as f32,
+            0.5,
+        ));
     }
     let mut indices = Vec::with_capacity(n as usize * 6);
     for i in 0..n {
@@ -180,7 +186,13 @@ mod tests {
 
     #[test]
     fn meshes_fit_unit_box() {
-        for m in [unit_quad(0), unit_cube(0), grid(4, 4, 0), disc(8, 0), gem(6, 0)] {
+        for m in [
+            unit_quad(0),
+            unit_cube(0),
+            grid(4, 4, 0),
+            disc(8, 0),
+            gem(6, 0),
+        ] {
             for vtx in &m.vertices {
                 assert!(vtx.position.x.abs() <= 0.5 + 1e-6);
                 assert!(vtx.position.y.abs() <= 0.5 + 1e-6);

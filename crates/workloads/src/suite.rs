@@ -187,11 +187,9 @@ pub fn by_alias(alias: &str, frame_scale: f64, seed: u64) -> Option<Workload> {
 }
 
 fn hash_alias(alias: &str) -> u64 {
-    alias
-        .bytes()
-        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-            (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
-        })
+    alias.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+        (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+    })
 }
 
 fn build_shaders(info: &BenchmarkInfo, rng: &mut SmallRng) -> ShaderTable {
@@ -239,16 +237,27 @@ fn build_textures(info: &BenchmarkInfo) -> Vec<TextureDesc> {
 }
 
 fn build_meshes() -> Vec<Arc<Mesh>> {
-    // Bases are staggered by a non-power-of-two stride so distinct
-    // meshes spread over the vertex cache's sets instead of aliasing.
-    let base = |i: u64| AddressSpace::VERTEX_BASE + i * 0x10C0;
-    vec![
-        meshes::unit_quad(base(0)),      // 0: sprite
-        meshes::unit_cube(base(1)),      // 1: crate/vehicle body
-        meshes::grid(6, 6, base(2)),     // 2: terrain/road strip
-        meshes::disc(8, base(3)),        // 3: particles, coins
-        meshes::gem(6, base(4)),         // 4: character blob
-    ]
+    // The library is identical for every benchmark and every seed, so
+    // it is built once per process and shared: every workload's draw
+    // calls then point at the *same* `Arc<Mesh>` allocations, which
+    // also lets downstream per-mesh memoization (frame fingerprints,
+    // geometry scratch) hit across workloads.
+    static LIBRARY: std::sync::OnceLock<Vec<Arc<Mesh>>> = std::sync::OnceLock::new();
+    LIBRARY
+        .get_or_init(|| {
+            // Bases are staggered by a non-power-of-two stride so
+            // distinct meshes spread over the vertex cache's sets
+            // instead of aliasing.
+            let base = |i: u64| AddressSpace::VERTEX_BASE + i * 0x10C0;
+            vec![
+                meshes::unit_quad(base(0)),  // 0: sprite
+                meshes::unit_cube(base(1)),  // 1: crate/vehicle body
+                meshes::grid(6, 6, base(2)), // 2: terrain/road strip
+                meshes::disc(8, base(3)),    // 3: particles, coins
+                meshes::gem(6, base(4)),     // 4: character blob
+            ]
+        })
+        .clone()
 }
 
 fn build_templates(
@@ -452,10 +461,9 @@ mod tests {
                     fs_used[c.fragment_shader.0 as usize] = true;
                 }
             }
-            let vs_cov = vs_used.iter().filter(|&&u| u).count() as f64
-                / info.vertex_shaders as f64;
-            let fs_cov = fs_used.iter().filter(|&&u| u).count() as f64
-                / info.fragment_shaders as f64;
+            let vs_cov = vs_used.iter().filter(|&&u| u).count() as f64 / info.vertex_shaders as f64;
+            let fs_cov =
+                fs_used.iter().filter(|&&u| u).count() as f64 / info.fragment_shaders as f64;
             assert!(vs_cov > 0.9, "{}: vs coverage {vs_cov}", info.alias);
             assert!(fs_cov > 0.75, "{}: fs coverage {fs_cov}", info.alias);
         }

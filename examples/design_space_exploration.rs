@@ -26,8 +26,12 @@ fn main() {
 
     // Characterize once — valid for every design point.
     println!("characterizing {} frames once...", workload.frames());
-    let matrix =
-        characterize_sequence(workload.iter_frames(), workload.shaders(), &baseline, &config);
+    let matrix = characterize_sequence(
+        workload.iter_frames(),
+        workload.shaders(),
+        &baseline,
+        &config,
+    );
     let selection = select_representatives(&matrix, &config);
     println!(
         "selected {} representatives ({:.1}x fewer frames per design point)\n",
@@ -44,8 +48,12 @@ fn main() {
             let mut gpu = baseline.clone();
             gpu.l2 = CacheConfig::new("L2", l2_kib * 1024, 64, 2, 8, 18);
             gpu.fragment_processors = fps;
-            let rep_stats =
-                simulate_representatives(|i| workload.frame(i), &selection, workload.shaders(), &gpu);
+            let rep_stats = simulate_representatives(
+                |i| workload.frame(i),
+                &selection,
+                workload.shaders(),
+                &gpu,
+            );
             // Scale representative statistics to full-sequence totals.
             let mut total = FrameStats::default();
             for (stats, rep) in rep_stats.iter().zip(&selection.representatives) {

@@ -37,7 +37,11 @@ fn main() {
         selection.k()
     );
     for (k, score) in selection.bic_scores.iter().enumerate() {
-        let marker = if k + 1 == selection.k() { "  <= selected" } else { "" };
+        let marker = if k + 1 == selection.k() {
+            "  <= selected"
+        } else {
+            ""
+        };
         println!("  k = {:>2}: {:>12.1}{}", k + 1, score, marker);
     }
 
@@ -53,6 +57,9 @@ fn main() {
 
     println!("\nrepresentatives (frame -> cluster size):");
     for rep in &selection.representatives {
-        println!("  frame {:>5} represents {:>5} frames", rep.frame_index, rep.cluster_size);
+        println!(
+            "  frame {:>5} represents {:>5} frames",
+            rep.frame_index, rep.cluster_size
+        );
     }
 }

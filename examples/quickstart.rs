@@ -49,8 +49,14 @@ fn main() {
     );
     println!("relative errors vs full simulation:");
     println!("  total cycles       {:>7.3}%", run.errors.cycles * 100.0);
-    println!("  DRAM accesses      {:>7.3}%", run.errors.dram_accesses * 100.0);
-    println!("  L2 accesses        {:>7.3}%", run.errors.l2_accesses * 100.0);
+    println!(
+        "  DRAM accesses      {:>7.3}%",
+        run.errors.dram_accesses * 100.0
+    );
+    println!(
+        "  L2 accesses        {:>7.3}%",
+        run.errors.l2_accesses * 100.0
+    );
     println!(
         "  tile-cache accesses{:>7.3}%",
         run.errors.tile_cache_accesses * 100.0

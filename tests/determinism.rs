@@ -44,8 +44,12 @@ fn run_pipeline() -> PipelineArtifacts {
 
     let per_frame = simulate_sequence(workload.iter_frames(), workload.shaders(), &gpu);
     let run = evaluate_megsim(&matrix, &per_frame, &config);
-    let rep_stats =
-        simulate_representatives(|i| workload.frame(i), &run.selection, workload.shaders(), &gpu);
+    let rep_stats = simulate_representatives(
+        |i| workload.frame(i),
+        &run.selection,
+        workload.shaders(),
+        &gpu,
+    );
 
     PipelineArtifacts {
         features: matrix.rows.as_slice().to_vec(),
@@ -63,6 +67,34 @@ fn run_pipeline() -> PipelineArtifacts {
         rep_stats,
         estimated: run.estimated,
     }
+}
+
+/// Parallel batch frame synthesis is bit-identical to sequential
+/// per-frame generation at every worker-pool size: same draw-call
+/// fingerprints in the same order.
+#[test]
+fn frame_generation_is_bit_identical_at_any_thread_count() {
+    use megsim_core::frame_cache::frame_fingerprint;
+
+    let workload = by_alias("hwh", 0.02, 42).expect("known alias");
+    let sequential: Vec<u128> = workload
+        .iter_frames()
+        .map(|f| frame_fingerprint(&f))
+        .collect();
+
+    for threads in [1usize, 2, 8] {
+        megsim_exec::set_threads(threads);
+        let batch: Vec<u128> = workload
+            .generate_frames()
+            .iter()
+            .map(frame_fingerprint)
+            .collect();
+        assert_eq!(
+            sequential, batch,
+            "batch frame synthesis differs at {threads} threads"
+        );
+    }
+    megsim_exec::set_threads(0);
 }
 
 #[test]

@@ -95,8 +95,7 @@ fn standalone_representative_simulation_matches_full_run_closely() {
     let m = characterize_sequence(w.iter_frames(), w.shaders(), &gpu, &cfg);
     let pf = simulate_sequence(w.iter_frames(), w.shaders(), &gpu);
     let run = evaluate_megsim(&m, &pf, &cfg);
-    let rep_stats =
-        simulate_representatives(|i| w.frame(i), &run.selection, w.shaders(), &gpu);
+    let rep_stats = simulate_representatives(|i| w.frame(i), &run.selection, w.shaders(), &gpu);
     assert_eq!(rep_stats.len(), run.frames_simulated());
     for (standalone, rep) in rep_stats.iter().zip(&run.selection.representatives) {
         let in_full = &pf[rep.frame_index];
@@ -120,10 +119,7 @@ fn sequence_totals_equal_sum_of_frames() {
     let w = by_alias("jjo", 0.005, 2).expect("known alias");
     let pf = simulate_sequence(w.iter_frames(), w.shaders(), &gpu);
     let totals = sequence_totals(&pf);
-    assert_eq!(
-        totals.cycles,
-        pf.iter().map(|f| f.cycles).sum::<u64>()
-    );
+    assert_eq!(totals.cycles, pf.iter().map(|f| f.cycles).sum::<u64>());
     assert_eq!(
         totals.dram_accesses(),
         pf.iter().map(|f| f.dram_accesses()).sum::<u64>()

@@ -32,8 +32,12 @@ fn run_flow() -> FlowArtifacts {
     let matrix = characterize_sequence(workload.iter_frames(), workload.shaders(), &gpu, &config);
     let per_frame = simulate_sequence(workload.iter_frames(), workload.shaders(), &gpu);
     let run = evaluate_megsim(&matrix, &per_frame, &config);
-    let rep_stats =
-        simulate_representatives(|i| workload.frame(i), &run.selection, workload.shaders(), &gpu);
+    let rep_stats = simulate_representatives(
+        |i| workload.frame(i),
+        &run.selection,
+        workload.shaders(),
+        &gpu,
+    );
     FlowArtifacts {
         features: matrix.rows.as_slice().to_vec(),
         per_frame,

@@ -56,7 +56,12 @@ fn shader_counts_correlate_strongly_with_cycles() {
     let data = compute_suite(&ctx);
     for d in &data {
         let r = correlation_row(d);
-        assert!(r.shaders > 0.8, "{}: shaders R = {:.3}", d.info.alias, r.shaders);
+        assert!(
+            r.shaders > 0.8,
+            "{}: shaders R = {:.3}",
+            d.info.alias,
+            r.shaders
+        );
         assert!(r.fscv > 0.7, "{}: FSCV R = {:.3}", d.info.alias, r.fscv);
         // The paper finds PRIM's correlation "more limited"; require it
         // to be meaningful for geometry-heavy 3-D games only.
@@ -111,8 +116,7 @@ fn random_subsampling_needs_more_frames_than_megsim() {
     let run = &run_all_megsim(&data, &ctx.megsim)[0];
     let cycles = data[0].cycles_series();
     let target = run.errors.cycles.max(1e-4);
-    let random_frames =
-        random_sampling::frames_needed_for_target(&cycles, target, 300, 0.95, 7);
+    let random_frames = random_sampling::frames_needed_for_target(&cycles, target, 300, 0.95, 7);
     assert!(
         random_frames > run.frames_simulated(),
         "random {} vs megsim {}",

@@ -72,10 +72,7 @@ proptest! {
 
 fn points_strategy() -> impl Strategy<Value = Vec<Vec<f64>>> {
     (2usize..6).prop_flat_map(|dim| {
-        prop::collection::vec(
-            prop::collection::vec(-100.0f64..100.0, dim..=dim),
-            3..40,
-        )
+        prop::collection::vec(prop::collection::vec(-100.0f64..100.0, dim..=dim), 3..40)
     })
 }
 
@@ -157,11 +154,8 @@ proptest! {
 
 fn matrix_strategy() -> impl Strategy<Value = FeatureMatrix> {
     (1usize..4, 1usize..4, 2usize..24).prop_flat_map(|(p, q, n)| {
-        prop::collection::vec(
-            prop::collection::vec(0.0f64..1e5, p + q + 1),
-            n..=n,
-        )
-        .prop_map(move |rows| FeatureMatrix::from_rows(rows, p, q))
+        prop::collection::vec(prop::collection::vec(0.0f64..1e5, p + q + 1), n..=n)
+            .prop_map(move |rows| FeatureMatrix::from_rows(rows, p, q))
     })
 }
 

@@ -1,0 +1,109 @@
+//! Golden pins for the workload generators: 128-bit content
+//! fingerprints (via `megsim_core::frame_cache`) of selected frames of
+//! every Table II benchmark at a fixed (scale, seed). Any change to the
+//! generators' arithmetic, RNG draw order, mesh library, or draw-list
+//! layout shows up here as a changed fingerprint — the workload
+//! equivalent of the timing model's golden counter test.
+
+use megsim_core::frame_cache::frame_fingerprint;
+use megsim_workloads::suite;
+
+const SCALE: f64 = 0.01;
+const SEED: u64 = 42;
+
+/// (alias, frame 0, mid frame, last frame) fingerprints at
+/// `suite(0.01, 42)`. Regenerate by running this test with
+/// `PRINT_GOLDEN=1 cargo test -q workload_fingerprints -- --nocapture`.
+const GOLDEN: [(&str, u128, u128, u128); 8] = [
+    (
+        "asp",
+        0xe6bd2ee31c7edb5124870a3146db05f1,
+        0x7a1e32513ef10c38eaf0d9b08b2d9e09,
+        0xf17d942f3f2f02b535584117bcd0f52b,
+    ),
+    (
+        "bbr1",
+        0x972e2174fe996ac55557eabda56a100d,
+        0x9cd8f5e5dc55a90b8a6f42ace07fd9d4,
+        0xd553cb08bc845a5e005eee64b80d1209,
+    ),
+    (
+        "bbr2",
+        0xc70c913ff91736c5b7f7642c0ea87677,
+        0x110b5218a73d936e3847c5b9545c21a3,
+        0x090bc79eb5a01dddc4bfe599ca08c522,
+    ),
+    (
+        "hcr",
+        0x9132a2a24d1c9d198d0f6338e523daca,
+        0x420bdf62857efc4328082273da671b1f,
+        0x0f2a2de2c1f130d2c8a39fadb4fcfc2a,
+    ),
+    (
+        "hwh",
+        0x21efeef5ac13d4e80f5b4afb32536260,
+        0x5dcb57c954e0ec90321f5b59c076c316,
+        0x6cbc51a166bbb6df54d8fb7d8b3e59e4,
+    ),
+    (
+        "jjo",
+        0x1e730b8e4b241ba491d0eab7fb826fbf,
+        0x6894d79d7d0a8eae565135260e5177f7,
+        0x83b721b599edb38b4c00705c215efcfd,
+    ),
+    (
+        "pvz",
+        0x58e97a7fd916f96244d1c564f0c10ba0,
+        0xe15619370d5ff3b9df6604a38e9ab8d2,
+        0xe29a4ee1477d07c9d26c9ced60d7b8dd,
+    ),
+    (
+        "spd",
+        0x6470cf95574837ebb8c939e59f2b51c6,
+        0xb909b4577ed6bdc1eee7c298bd1de777,
+        0xedc156754464373059bfab801678f818,
+    ),
+];
+
+#[test]
+fn workload_fingerprints_match_golden() {
+    let workloads = suite(SCALE, SEED);
+    let print = std::env::var_os("PRINT_GOLDEN").is_some();
+    for (w, (alias, first, mid, last)) in workloads.iter().zip(GOLDEN) {
+        assert_eq!(w.alias, alias, "suite order changed");
+        let n = w.frames();
+        let got = (
+            frame_fingerprint(&w.frame(0)),
+            frame_fingerprint(&w.frame(n / 2)),
+            frame_fingerprint(&w.frame(n - 1)),
+        );
+        if print {
+            println!(
+                "    (\"{alias}\", {:#034x}, {:#034x}, {:#034x}),",
+                got.0, got.1, got.2
+            );
+            continue;
+        }
+        assert_eq!(got.0, first, "{alias} frame 0 fingerprint drifted");
+        assert_eq!(got.1, mid, "{alias} frame {} fingerprint drifted", n / 2);
+        assert_eq!(got.2, last, "{alias} frame {} fingerprint drifted", n - 1);
+    }
+}
+
+/// Batch generation fingerprints equal per-frame generation — the
+/// parallel fan-out changes scheduling, never content.
+#[test]
+fn batch_generation_matches_per_frame_fingerprints() {
+    for w in suite(SCALE, SEED) {
+        let batch = w.generate_frames();
+        assert_eq!(batch.len(), w.frames());
+        for (i, f) in batch.iter().enumerate() {
+            assert_eq!(
+                frame_fingerprint(f),
+                frame_fingerprint(&w.frame(i)),
+                "{} frame {i}",
+                w.alias
+            );
+        }
+    }
+}

@@ -28,7 +28,9 @@ impl Bytes {
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes { data: data.to_vec() }
+        Bytes {
+            data: data.to_vec(),
+        }
     }
 
     /// Length in bytes.
@@ -81,7 +83,9 @@ impl BytesMut {
 
     /// Creates an empty buffer with reserved capacity.
     pub fn with_capacity(capacity: usize) -> Self {
-        BytesMut { data: Vec::with_capacity(capacity) }
+        BytesMut {
+            data: Vec::with_capacity(capacity),
+        }
     }
 
     /// Length in bytes.

@@ -42,7 +42,10 @@ impl Default for Criterion {
                 _ => filter = Some(arg),
             }
         }
-        Criterion { sample_size: 50, filter }
+        Criterion {
+            sample_size: 50,
+            filter,
+        }
     }
 }
 
@@ -126,7 +129,8 @@ impl BenchmarkGroup<'_> {
     {
         let id = format!("{}/{}", self.name, id);
         let samples = self.sample_size.unwrap_or(self.criterion.sample_size);
-        self.criterion.run_one(&id, samples, &mut |b: &mut Bencher| f(b, input));
+        self.criterion
+            .run_one(&id, samples, &mut |b: &mut Bencher| f(b, input));
         self
     }
 
@@ -143,12 +147,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// An id with a function name and a parameter rendering.
     pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
     }
 
     /// An id that is just a parameter rendering.
     pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
-        BenchmarkId { id: parameter.to_string() }
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
     }
 }
 

@@ -17,7 +17,9 @@ pub struct Any<T> {
 
 /// The canonical strategy for `T`, as `any::<T>()`.
 pub fn any<T: Arbitrary>() -> Any<T> {
-    Any { _marker: std::marker::PhantomData }
+    Any {
+        _marker: std::marker::PhantomData,
+    }
 }
 
 impl<T: Arbitrary> Strategy for Any<T> {

@@ -17,21 +17,30 @@ pub struct SizeRange {
 
 impl From<usize> for SizeRange {
     fn from(exact: usize) -> Self {
-        SizeRange { lo: exact, hi_inclusive: exact }
+        SizeRange {
+            lo: exact,
+            hi_inclusive: exact,
+        }
     }
 }
 
 impl From<Range<usize>> for SizeRange {
     fn from(range: Range<usize>) -> Self {
         assert!(range.start < range.end, "empty collection size range");
-        SizeRange { lo: range.start, hi_inclusive: range.end - 1 }
+        SizeRange {
+            lo: range.start,
+            hi_inclusive: range.end - 1,
+        }
     }
 }
 
 impl From<RangeInclusive<usize>> for SizeRange {
     fn from(range: RangeInclusive<usize>) -> Self {
         assert!(range.start() <= range.end(), "empty collection size range");
-        SizeRange { lo: *range.start(), hi_inclusive: *range.end() }
+        SizeRange {
+            lo: *range.start(),
+            hi_inclusive: *range.end(),
+        }
     }
 }
 
@@ -48,7 +57,10 @@ impl SizeRange {
 /// Strategy generating `Vec`s whose elements come from `element` and
 /// whose length falls in `size`.
 pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
-    VecStrategy { element, size: size.into() }
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
 }
 
 /// See [`vec`].

@@ -45,7 +45,11 @@ pub trait Strategy {
         Self: Sized,
         F: Fn(&Self::Value) -> bool,
     {
-        Filter { source: self, whence, f }
+        Filter {
+            source: self,
+            whence,
+            f,
+        }
     }
 }
 

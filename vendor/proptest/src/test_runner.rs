@@ -62,7 +62,9 @@ pub struct TestRng {
 impl TestRng {
     /// Creates a generator from an explicit seed.
     pub fn from_seed(seed: u64) -> Self {
-        TestRng { rng: SmallRng::seed_from_u64(seed) }
+        TestRng {
+            rng: SmallRng::seed_from_u64(seed),
+        }
     }
 
     /// Raw 64-bit draw.
@@ -94,7 +96,10 @@ impl TestRunner {
             hash ^= u64::from(byte);
             hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
         }
-        TestRunner { config, seed_base: hash }
+        TestRunner {
+            config,
+            seed_base: hash,
+        }
     }
 
     /// Draws inputs from `strategy` and applies `test` until
