@@ -1,0 +1,155 @@
+//! Intra-frame parallel timing benchmark: the tile-sharded
+//! record/replay raster phase (PR 6) against the sequential tile loop,
+//! swept over 1/2/max worker threads, plus the same sweep for the
+//! warm-sequence render/timing pipeline. Both parallel paths are
+//! bit-identical to their sequential baselines at every point of the
+//! sweep (pinned by `tests/determinism.rs`), so the curve measures
+//! pure overlap.
+//!
+//! Results merge into `BENCH_6.json` at the repo root. Every speedup is
+//! recorded next to `intra_frame_available_parallelism`: on a 1-core
+//! runner overlap is impossible and ~1.0× (or slightly below, from
+//! record-stage overhead) is the expected reading — the printed note
+//! and the recorded core count keep that from masquerading as a
+//! regression or a win.
+
+use std::time::Instant;
+
+use megsim_bench::report::{available_cores, core_note, merge_bench_json};
+use megsim_funcsim::{FrameTrace, RenderConfig, RenderMode, Renderer};
+use megsim_timing::{Gpu, GpuConfig, ShardMode};
+use megsim_workloads::by_alias;
+
+const MODES: [(&str, RenderMode); 3] = [
+    ("tbr", RenderMode::TileBased),
+    ("tbdr", RenderMode::TileBasedDeferred),
+    ("imr", RenderMode::Immediate),
+];
+
+/// Best-of-three wall-clock seconds for `f` (after one warm-up pass).
+fn secs(mut f: impl FnMut()) -> f64 {
+    f();
+    (0..3)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+/// The 1/2/max thread sweep. On a 1-core box max is clamped to 2 so the
+/// curve still has an oversubscribed point (documenting the overhead of
+/// sharding without parallelism, which the Auto policy avoids).
+fn sweep_points(cores: usize) -> Vec<usize> {
+    let mut points = vec![1, 2, cores.max(2)];
+    points.dedup();
+    points
+}
+
+fn main() {
+    let cores = available_cores();
+    let sweep = sweep_points(cores);
+    let mut entries: Vec<(String, f64)> = vec![
+        (
+            "intra_frame_available_parallelism".to_string(),
+            cores as f64,
+        ),
+        (
+            "intra_frame_thread_sweep_max".to_string(),
+            *sweep.last().expect("non-empty sweep") as f64,
+        ),
+    ];
+
+    // Tile-sharded timing: simulate a warm trace sequence per render
+    // mode with the raster phase forced onto the record/replay path at
+    // each thread count, against the sequential loop as baseline.
+    let workload = by_alias("bbr1", 0.01, 7).expect("known alias");
+    let shaders = workload.shaders();
+    for (name, mode) in MODES {
+        let mut cfg = GpuConfig::mali450_like();
+        cfg.render_mode = mode;
+        let renderer = Renderer::new(RenderConfig {
+            viewport: cfg.viewport,
+            mode,
+        });
+        let traces: Vec<FrameTrace> = workload
+            .iter_frames()
+            .map(|f| renderer.render_frame(&f, shaders))
+            .collect();
+        let n = traces.len() as f64;
+        let run = |shard: ShardMode| {
+            let mut gpu = Gpu::new(cfg.clone());
+            gpu.set_shard_mode(shard);
+            for t in &traces {
+                std::hint::black_box(gpu.simulate_frame(t, shaders).cycles);
+            }
+        };
+        megsim_exec::set_threads(1);
+        let sequential = secs(|| run(ShardMode::Off));
+        entries.push((
+            format!("intra_frame_{name}_sequential_frames_per_sec"),
+            n / sequential,
+        ));
+        for &threads in &sweep {
+            megsim_exec::set_threads(threads);
+            let sharded = secs(|| run(ShardMode::Force));
+            entries.push((
+                format!("intra_frame_{name}_sharded_t{threads}_frames_per_sec"),
+                n / sharded,
+            ));
+            entries.push((
+                format!("intra_frame_{name}_shard_speedup_t{threads}"),
+                sequential / sharded,
+            ));
+            println!(
+                "intra-frame {name}: sharded t{threads} {:.1} frames/s vs sequential {:.1} ({:.2}x on {cores} core(s)){}",
+                n / sharded,
+                n / sequential,
+                sequential / sharded,
+                if threads > 1 { core_note(cores) } else { "" }
+            );
+        }
+        megsim_exec::set_threads(0);
+    }
+
+    // Warm-sequence pipeline (render frame N+1 while timing frame N)
+    // under the same sweep; at one thread the pipeline degrades to the
+    // inline sequential loop, so t1 is its own baseline.
+    let cfg = GpuConfig::mali450_like();
+    let frames = workload.frames() as f64;
+    let mut warm_t1 = f64::NAN;
+    for &threads in &sweep {
+        megsim_exec::set_threads(threads);
+        let warm = secs(|| {
+            std::hint::black_box(megsim_core::simulate_sequence_warm(
+                workload.iter_frames(),
+                workload.shaders(),
+                &cfg,
+            ));
+        });
+        if threads == 1 {
+            warm_t1 = warm;
+        }
+        entries.push((
+            format!("intra_frame_warm_pipeline_t{threads}_frames_per_sec"),
+            frames / warm,
+        ));
+        entries.push((
+            format!("intra_frame_warm_pipeline_speedup_t{threads}"),
+            warm_t1 / warm,
+        ));
+        println!(
+            "warm pipeline: t{threads} {:.1} frames/s ({:.2}x vs t1 on {cores} core(s)){}",
+            frames / warm,
+            warm_t1 / warm,
+            if threads > 1 { core_note(cores) } else { "" }
+        );
+    }
+    megsim_exec::set_threads(0);
+
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_6.json");
+    if let Err(e) = merge_bench_json(&path, &entries) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    }
+}

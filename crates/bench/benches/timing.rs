@@ -148,13 +148,16 @@ fn write_bench_summary() {
     });
     // The overlap needs at least two hardware threads (one rendering,
     // one timing); on a single-CPU box the producer thread only adds
-    // context switches, so the recorded core count qualifies the ratio.
-    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    // context switches, so the recorded core count qualifies the ratio
+    // and the printed note keeps a ~1.0x reading from looking like a
+    // regression.
+    let cores = megsim_bench::report::available_cores();
     println!(
-        "warm sequence bbr1: sequential {:.1} frames/s, pipelined {:.1} frames/s ({:.2}x on {cores} core(s))",
+        "warm sequence bbr1: sequential {:.1} frames/s, pipelined {:.1} frames/s ({:.2}x on {cores} core(s)){}",
         frames / sequential,
         frames / pipelined,
-        sequential / pipelined
+        sequential / pipelined,
+        megsim_bench::report::core_note(cores)
     );
     entries.push((
         "timing_warm_sequential_frames_per_sec".to_string(),

@@ -118,6 +118,26 @@ fn parse_bench_json(text: &str) -> Vec<(String, f64)> {
         .collect()
 }
 
+/// Hardware threads available to the worker pool. Every
+/// pipeline/sharding speedup in a `BENCH_N.json` must be recorded next
+/// to this number: a ~1.0× ratio measured on a 1-core runner reflects
+/// the hardware, not the code, and is unreadable without it.
+pub fn available_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Qualifier for printed speedup lines. On one hardware thread, overlap
+/// is impossible — producers and the consumer time-slice a single core —
+/// so ~1.0× is the expected reading, not a regression; the note says so
+/// instead of letting the ratio mislead.
+pub fn core_note(cores: usize) -> &'static str {
+    if cores == 1 {
+        " [overlap impossible on 1 core; ~1.0x expected]"
+    } else {
+        ""
+    }
+}
+
 /// Merges `entries` into the flat-JSON benchmark summary at `path`,
 /// creating the file if absent. Existing keys are overwritten by new
 /// values; keys only present in the file are preserved, so the
@@ -201,6 +221,14 @@ mod tests {
                 ("c".to_string(), 3.0)
             ]
         );
+    }
+
+    #[test]
+    fn core_note_flags_single_core_only() {
+        assert!(core_note(1).contains("overlap impossible"));
+        assert_eq!(core_note(2), "");
+        assert_eq!(core_note(16), "");
+        assert!(available_cores() >= 1);
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod dram;
 pub mod hierarchy;
 #[cfg(any(test, feature = "reference"))]
 pub mod hierarchy_reference;
+pub mod runlog;
 
 pub use addr::AddressSpace;
 pub use cache::{Cache, CacheAccess, CacheConfig, CacheStats};
@@ -38,3 +39,4 @@ pub use dram::{Dram, DramAccess, DramConfig, DramStats};
 pub use hierarchy::{HierarchyAccess, MemoryHierarchy, MemoryStats};
 #[cfg(any(test, feature = "reference"))]
 pub use hierarchy_reference::{ReferenceDram, ReferenceMemoryHierarchy};
+pub use runlog::RunCoalescer;

@@ -41,8 +41,34 @@ use megsim_gfx::shader::ShaderTable;
 use megsim_gfx::texture::LodSampler;
 use megsim_mem::{AddressSpace, Cache, MemoryHierarchy};
 
+use megsim_mem::RunCoalescer;
+
 use crate::config::GpuConfig;
+use crate::shard;
 use crate::stats::{FrameStats, UnitBusy};
+
+/// Raster-phase execution policy: whether [`Gpu::simulate_frame`]
+/// shards its tile loop across the [`megsim_exec`] worker pool.
+///
+/// Sharding is the record/replay split of [`crate::shard`]: parallel
+/// workers record per-tile memory-traffic logs, the caller thread
+/// replays them tile-index-ascending against the shared caches and
+/// DRAM. The result is bit-identical to the sequential loop in every
+/// mode, so the policy only trades overhead against parallelism.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ShardMode {
+    /// Shard when it can help: more than one worker thread, not nested
+    /// inside a pool worker (frame-level parallelism already owns the
+    /// pool there), and at least two tiles to overlap.
+    #[default]
+    Auto,
+    /// Always run the sequential raster loop.
+    Off,
+    /// Always run the record/replay path, even single-threaded — used
+    /// by tests and benches to pin its bit-identity and cost at every
+    /// thread count.
+    Force,
+}
 
 /// Reusable buffers of the raster phase. Owned by the [`Gpu`] so that
 /// steady-state frame simulation performs no heap allocation: per-FP
@@ -72,6 +98,7 @@ pub struct Gpu {
     now: u64,
     frame_index: u64,
     scratch: TimingScratch,
+    shard_mode: ShardMode,
 }
 
 impl Gpu {
@@ -87,8 +114,20 @@ impl Gpu {
             now: 0,
             frame_index: 0,
             scratch: TimingScratch::default(),
+            shard_mode: ShardMode::default(),
             config,
         }
+    }
+
+    /// Sets the raster-phase sharding policy (default [`ShardMode::Auto`]).
+    /// Output is bit-identical under every mode; see [`ShardMode`].
+    pub fn set_shard_mode(&mut self, mode: ShardMode) {
+        self.shard_mode = mode;
+    }
+
+    /// The active raster-phase sharding policy.
+    pub fn shard_mode(&self) -> ShardMode {
+        self.shard_mode
     }
 
     /// The machine configuration.
@@ -126,12 +165,12 @@ impl Gpu {
         let frame_start = self.now;
         let mut unit_busy = UnitBusy::default();
         let geometry_cycles = self.geometry_phase(trace, frame_start, &mut unit_busy);
-        let (raster_cycles, color_accesses, depth_accesses) = self.raster_phase(
-            trace,
-            shaders,
-            frame_start + geometry_cycles,
-            &mut unit_busy,
-        );
+        let raster_base = frame_start + geometry_cycles;
+        let (raster_cycles, color_accesses, depth_accesses) = if self.use_shards(trace) {
+            self.raster_phase_sharded(trace, shaders, raster_base, &mut unit_busy)
+        } else {
+            self.raster_phase(trace, shaders, raster_base, &mut unit_busy)
+        };
         let cycles = geometry_cycles + raster_cycles + self.config.frame_overhead_cycles;
         self.now = frame_start + cycles;
         self.frame_index += 1;
@@ -267,6 +306,76 @@ impl Gpu {
         // vertex queue depth.
         let fill = u64::from(self.config.vertex_queue.entries);
         vf_clock.max(vp_clock).max(pa_clock).max(plb_clock) + fill
+    }
+
+    /// Whether this frame's raster phase runs the tile-sharded
+    /// record/replay path instead of the sequential loop.
+    fn use_shards(&self, trace: &FrameTrace) -> bool {
+        match self.shard_mode {
+            ShardMode::Off => false,
+            ShardMode::Force => true,
+            ShardMode::Auto => {
+                trace.tiles.len() >= 2 && megsim_exec::thread_count() > 1 && !megsim_exec::in_pool()
+            }
+        }
+    }
+
+    /// Tile-sharded raster phase: parallel [`shard::record_tiles`]
+    /// workers over fixed tile ranges, merged tile-index-ascending by
+    /// [`shard::replay_shard`] on this thread via
+    /// [`megsim_exec::shard_merge`]. Bit-identical to [`Self::raster_phase`]
+    /// at any thread count (pinned by the `shard` oracle tests and
+    /// `tests/determinism.rs`).
+    fn raster_phase_sharded(
+        &mut self,
+        trace: &FrameTrace,
+        shaders: &ShaderTable,
+        base: u64,
+        busy: &mut UnitBusy,
+    ) -> (u64, u64, u64) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.tex_clock.resize(self.config.fragment_processors, 0);
+        // Field-level borrow split: the record closure shares the
+        // config/trace/shaders read-only across workers while the merge
+        // closure owns every piece of mutable memory-system state.
+        let config = &self.config;
+        let tile_cache = &mut self.tile_cache;
+        let texture_caches = &mut self.texture_caches;
+        let memory = &mut self.memory;
+        let frame_index = self.frame_index;
+        let tex_clock = &mut scratch.tex_clock;
+        let mut state = shard::ReplayState::default();
+        // Logs are compact; let producers run a few shards ahead so the
+        // replay never starves without buffering the whole frame.
+        let capacity = (megsim_exec::thread_count() * 2).max(4);
+        megsim_exec::shard_merge(
+            trace.tiles.len(),
+            shard::SHARD_TILES,
+            capacity,
+            |range| shard::record_tiles(trace, shaders, config, frame_index, range),
+            |_range, log| {
+                shard::replay_shard(
+                    &log,
+                    trace,
+                    config,
+                    tile_cache,
+                    texture_caches,
+                    memory,
+                    frame_index,
+                    base,
+                    busy,
+                    &mut state,
+                    tex_clock,
+                );
+            },
+        );
+        busy.flush += state.flush_clock;
+        self.scratch = scratch;
+        (
+            state.tile_work_clock.max(state.flush_clock),
+            state.color_accesses,
+            state.depth_accesses,
+        )
     }
 
     /// Raster Pipeline, tile by tile. Returns `(phase_cycles,
@@ -550,34 +659,27 @@ impl Gpu {
         let cache = &mut self.texture_caches[fp];
         let memory = &mut self.memory;
         let clock = &mut tex_clock[fp];
-        // Current same-line run; the boundaries are exactly those of a
-        // scan over the quad's flat address sequence (the sampler's
-        // pre-coalesced runs are guaranteed same-line, so extending the
-        // open run by `count` merges exactly where the flat scan would).
-        let mut run_addr = 0u64;
-        let mut run_line = 0u64;
-        let mut run_count = 0u64;
+        // Current same-line run, folded by the shared [`RunCoalescer`]:
+        // the boundaries are exactly those of a scan over the quad's
+        // flat address sequence (the sampler's pre-coalesced runs are
+        // guaranteed same-line, so extending the open run by `count`
+        // merges exactly where the flat scan would). The sharded
+        // recorder uses the same machine, so both paths log/serve
+        // identical runs.
+        let mut runs = RunCoalescer::new(line_shift);
         for off in &offsets[..vis.min(4) as usize] {
             let fuv = Vec2::new(uv.x + off.x, uv.y + off.y);
             for sampler in samplers {
                 sampler.for_each_run(fuv, line_shift, |addr, count| {
-                    let line = addr >> line_shift;
-                    if run_count > 0 && line == run_line {
-                        run_count += count;
-                    } else {
-                        if run_count > 0 {
-                            texture_run(cache, memory, run_addr, run_count, base, stall_cap, clock);
-                        }
-                        run_addr = addr;
-                        run_line = line;
-                        run_count = count;
-                    }
+                    runs.push(addr, count, |addr, count| {
+                        texture_run(cache, memory, addr, count, base, stall_cap, clock);
+                    });
                 });
             }
         }
-        if run_count > 0 {
-            texture_run(cache, memory, run_addr, run_count, base, stall_cap, clock);
-        }
+        runs.flush(|addr, count| {
+            texture_run(cache, memory, addr, count, base, stall_cap, clock);
+        });
     }
 }
 
@@ -586,7 +688,7 @@ impl Gpu {
 /// capped latency (the in-flight quad window hides the rest); the run's
 /// remaining `count - 1` accesses are hits at one pipe cycle each.
 #[inline]
-fn texture_run(
+pub(crate) fn texture_run(
     cache: &mut megsim_mem::Cache,
     memory: &mut megsim_mem::MemoryHierarchy,
     addr: u64,

@@ -32,12 +32,13 @@
 
 pub mod config;
 pub mod gpu;
+pub(crate) mod shard;
 pub mod stats;
 #[cfg(any(test, feature = "reference"))]
 pub mod timing_reference;
 
 pub use config::{GpuConfig, QueueConfig};
-pub use gpu::Gpu;
+pub use gpu::{Gpu, ShardMode};
 pub use stats::{FrameStats, SequenceStats};
 #[cfg(any(test, feature = "reference"))]
 pub use timing_reference::ReferenceGpu;

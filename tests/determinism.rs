@@ -97,6 +97,65 @@ fn frame_generation_is_bit_identical_at_any_thread_count() {
     megsim_exec::set_threads(0);
 }
 
+/// Intra-frame tile sharding is bit-identical to the sequential raster
+/// loop at every thread count, in every render mode, on both an even
+/// tile grid and a 33×33 viewport whose right column and bottom row are
+/// 1-px partial tiles (the shard-boundary regression case). Sweeps the
+/// forced record/replay path and the Auto policy against a 1-thread
+/// sequential baseline over warm multi-frame state.
+#[test]
+fn tile_sharded_timing_is_bit_identical_at_any_thread_count() {
+    use megsim_funcsim::{RenderConfig, RenderMode, Renderer};
+    use megsim_gfx::draw::Viewport;
+    use megsim_timing::{Gpu, ShardMode};
+
+    let workload = by_alias("pvz", 0.02, 7).expect("known alias");
+    let frames: Vec<_> = (0..4).map(|i| workload.frame(i)).collect();
+    let shaders = workload.shaders();
+
+    let run = |mode: RenderMode, viewport: Viewport, shard: ShardMode| {
+        let mut cfg = GpuConfig::small(viewport.width, viewport.height);
+        cfg.viewport = viewport;
+        cfg.render_mode = mode;
+        let renderer = Renderer::new(RenderConfig { viewport, mode });
+        let mut gpu = Gpu::new(cfg);
+        gpu.set_shard_mode(shard);
+        let stats: Vec<FrameStats> = frames
+            .iter()
+            .map(|f| gpu.simulate_frame(&renderer.render_frame(f, shaders), shaders))
+            .collect();
+        (stats, gpu.now())
+    };
+
+    for viewport in [Viewport::new(128, 128, 16), Viewport::new(33, 33, 16)] {
+        for mode in [
+            RenderMode::TileBased,
+            RenderMode::TileBasedDeferred,
+            RenderMode::Immediate,
+        ] {
+            megsim_exec::set_threads(1);
+            let baseline = run(mode, viewport, ShardMode::Off);
+            for threads in [1usize, 2, 8] {
+                megsim_exec::set_threads(threads);
+                let forced = run(mode, viewport, ShardMode::Force);
+                assert_eq!(
+                    forced, baseline,
+                    "sharded timing differs: {mode:?} {}x{} at {threads} threads",
+                    viewport.width, viewport.height
+                );
+            }
+            megsim_exec::set_threads(8);
+            let auto = run(mode, viewport, ShardMode::Auto);
+            assert_eq!(
+                auto, baseline,
+                "auto-sharded timing differs: {mode:?} {}x{}",
+                viewport.width, viewport.height
+            );
+            megsim_exec::set_threads(0);
+        }
+    }
+}
+
 #[test]
 fn pipeline_is_bit_identical_at_any_thread_count() {
     let mut runs = Vec::new();
