@@ -1,15 +1,19 @@
 //! Subcommand implementations of the `megsim` tool.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
+use std::fs::File;
+use std::io::BufReader;
 
 use megsim_bench::report;
-use megsim_core::evaluate::{evaluate_megsim, simulate_sequence};
+use megsim_core::evaluate::{characterize_sequence, evaluate_megsim, simulate_sequence};
 use megsim_core::pipeline::{select_representatives, MegsimConfig};
-use megsim_core::{feature_matrix, FeatureMatrix};
-use megsim_funcsim::{RenderConfig, Renderer};
+use megsim_core::FeatureMatrix;
 use megsim_gfx::draw::Frame;
-use megsim_gfx::shader::ShaderTable;
-use megsim_gl::{decode, encode, play, record_sequence};
+use megsim_gfx::shader::{ShaderKind, ShaderTable};
+use megsim_gl::{
+    encode_with_version, record_sequence, Command, FrameIter, StreamDecoder, TraceError,
+    FORMAT_VERSION,
+};
 use megsim_timing::GpuConfig;
 
 const USAGE: &str = "\
@@ -17,9 +21,11 @@ usage: megsim <command> [options]
 
 commands:
   record       --benchmark <alias> [--scale F] [--seed N] --out <trace.mglt>
+               [--codec-version {1|2}]
                generate a synthetic benchmark and record its GL trace
+               (v2 is the compact varint wire format)
   info         <trace.mglt>
-               print trace statistics
+               print trace statistics (single streaming decode pass)
   characterize <trace.mglt> [--out features.csv]
                replay the trace functionally and emit the N x D
                feature matrix (paper §III-B)
@@ -134,26 +140,85 @@ impl Options {
     }
 }
 
-fn load_trace(path: &str) -> Result<(ShaderTable, Vec<Frame>), String> {
-    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let stream = decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
-    let replay = play(&stream).map_err(|e| format!("{path}: {e}"))?;
-    Ok((replay.shaders, replay.frames))
+/// Opens a trace file for frame-granular streaming replay: frames are
+/// decoded incrementally off the file handle, never materialized as a
+/// whole sequence.
+fn open_frames(path: &str) -> Result<FrameIter<BufReader<File>>, String> {
+    let file = File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    FrameIter::new(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))
 }
 
-fn characterize_frames(shaders: &ShaderTable, frames: &[Frame], gpu: &GpuConfig) -> FeatureMatrix {
-    let render_config = RenderConfig {
-        viewport: gpu.viewport,
-        mode: gpu.render_mode,
-    };
-    let renderer = Renderer::new(render_config);
-    let config_fp = megsim_core::frame_cache::activity_config_fingerprint(&render_config, shaders);
-    let activities = megsim_exec::par_map_indexed(frames, |_, f| {
-        megsim_core::frame_cache::activity_or_else(config_fp, f, || {
-            renderer.frame_activity(f, shaders)
+/// Adapts the fallible streaming frame iterator into the infallible
+/// shape the parallel passes consume, parking the first decode/replay
+/// error for the caller to check once the pass finishes.
+struct StreamedFrames {
+    iter: FrameIter<BufReader<File>>,
+    error: Option<TraceError>,
+}
+
+impl StreamedFrames {
+    fn open(path: &str) -> Result<Self, String> {
+        Ok(Self {
+            iter: open_frames(path)?,
+            error: None,
         })
-    });
-    feature_matrix(activities.iter(), shaders, &Default::default())
+    }
+
+    /// Surfaces the parked error, if the stream ended on one.
+    fn finish(self, path: &str) -> Result<(), String> {
+        match self.error {
+            Some(e) => Err(format!("{path}: {e}")),
+            None => Ok(()),
+        }
+    }
+}
+
+impl Iterator for StreamedFrames {
+    type Item = Frame;
+
+    fn next(&mut self) -> Option<Frame> {
+        match self.iter.next()? {
+            Ok(frame) => Some(frame),
+            Err(e) => {
+                self.error = Some(e);
+                None
+            }
+        }
+    }
+}
+
+/// One streaming characterization pass over a trace file: returns the
+/// shader library (decoded from the trace prelude) and the `N × D`
+/// feature matrix, holding only a window of frames in memory.
+fn characterize_stream(
+    path: &str,
+    gpu: &GpuConfig,
+    config: &MegsimConfig,
+) -> Result<(ShaderTable, FeatureMatrix), String> {
+    let mut frames = StreamedFrames::open(path)?;
+    let shaders = frames.iter.shaders().clone();
+    let matrix = characterize_sequence(&mut frames, &shaders, gpu, config);
+    frames.finish(path)?;
+    Ok((shaders, matrix))
+}
+
+/// Second streaming pass of `estimate`: re-decodes the trace and keeps
+/// only the frames whose indices were selected as representatives.
+fn collect_frames_by_index(
+    path: &str,
+    wanted: &HashSet<usize>,
+) -> Result<HashMap<usize, Frame>, String> {
+    let mut out = HashMap::with_capacity(wanted.len());
+    for (i, frame) in open_frames(path)?.enumerate() {
+        if out.len() == wanted.len() {
+            break;
+        }
+        let frame = frame.map_err(|e| format!("{path}: {e}"))?;
+        if wanted.contains(&i) {
+            out.insert(i, frame);
+        }
+    }
+    Ok(out)
 }
 
 fn record(opts: &mut Options) -> Result<(), String> {
@@ -161,15 +226,17 @@ fn record(opts: &mut Options) -> Result<(), String> {
     let scale: f64 = opts.flag("scale", 0.1)?;
     let seed: u64 = opts.flag("seed", 42)?;
     let out = opts.required_flag("out")?.to_string();
+    let version: u16 = opts.flag("codec-version", FORMAT_VERSION)?;
     let workload = megsim_workloads::by_alias(&alias, scale, seed).ok_or_else(|| {
         format!("unknown benchmark '{alias}' (try asp, bbr1, bbr2, hcr, hwh, jjo, pvz, spd)")
     })?;
     let frames: Vec<Frame> = workload.generate_frames();
     let stream = record_sequence(workload.shaders(), &frames);
-    let bytes = encode(&stream);
+    let bytes = encode_with_version(&stream, version)
+        .ok_or_else(|| format!("unsupported --codec-version {version} (supported: 1, 2)"))?;
     std::fs::write(&out, &bytes).map_err(|e| format!("cannot write {out}: {e}"))?;
     println!(
-        "recorded {} ({} frames, {} draws) -> {} ({} bytes)",
+        "recorded {} ({} frames, {} draws) -> {} ({} bytes, MGLT v{version})",
         workload.name,
         stream.frame_count(),
         stream.draw_count(),
@@ -181,26 +248,48 @@ fn record(opts: &mut Options) -> Result<(), String> {
 
 fn info(opts: &mut Options) -> Result<(), String> {
     let path = opts.trace_path()?;
-    let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let stream = decode(&bytes).map_err(|e| format!("{path}: {e}"))?;
-    let replay = play(&stream).map_err(|e| format!("{path}: {e}"))?;
+    let file = File::open(&path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let size = file
+        .metadata()
+        .map_err(|e| format!("cannot stat {path}: {e}"))?
+        .len();
+    // One incremental decode pass: commands are counted as they stream
+    // by, so memory stays O(1) in the trace length.
+    let mut decoder =
+        StreamDecoder::new(BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    let version = decoder.version();
+    let (mut commands, mut frames, mut draws) = (0u64, 0u64, 0u64);
+    let (mut vertex, mut fragment) = (0u64, 0u64);
+    for cmd in &mut decoder {
+        let cmd = cmd.map_err(|e| format!("{path}: {e}"))?;
+        commands += 1;
+        match cmd {
+            Command::SwapBuffers => frames += 1,
+            Command::Draw(_) => draws += 1,
+            Command::ProgramData(p) => match p.kind {
+                ShaderKind::Vertex => vertex += 1,
+                ShaderKind::Fragment => fragment += 1,
+            },
+            _ => {}
+        }
+    }
     println!("trace:             {path}");
-    println!("size:              {} bytes", bytes.len());
-    println!("commands:          {}", stream.commands.len());
-    println!("frames:            {}", stream.frame_count());
-    println!("draw calls:        {}", stream.draw_count());
-    println!("vertex shaders:    {}", replay.shaders.vertex_count());
-    println!("fragment shaders:  {}", replay.shaders.fragment_count());
-    let draws_per_frame = stream.draw_count() as f64 / stream.frame_count().max(1) as f64;
+    println!("format:            MGLT v{version}");
+    println!("size:              {size} bytes");
+    println!("commands:          {commands}");
+    println!("frames:            {frames}");
+    println!("draw calls:        {draws}");
+    println!("vertex shaders:    {vertex}");
+    println!("fragment shaders:  {fragment}");
+    let draws_per_frame = draws as f64 / frames.max(1) as f64;
     println!("draws per frame:   {draws_per_frame:.1}");
     Ok(())
 }
 
 fn characterize(opts: &mut Options) -> Result<(), String> {
     let path = opts.trace_path()?;
-    let (shaders, frames) = load_trace(&path)?;
     let gpu = GpuConfig::mali450_like();
-    let matrix = characterize_frames(&shaders, &frames, &gpu);
+    let (_, matrix) = characterize_stream(&path, &gpu, &MegsimConfig::default())?;
     let csv = report::feature_matrix_csv(&matrix);
     match opts.flags.get("out") {
         Some(out) => {
@@ -219,14 +308,13 @@ fn characterize(opts: &mut Options) -> Result<(), String> {
 fn select(opts: &mut Options) -> Result<(), String> {
     let path = opts.trace_path()?;
     let seed: u64 = opts.flag("seed", 42)?;
-    let (shaders, frames) = load_trace(&path)?;
     let gpu = GpuConfig::mali450_like();
     let config = MegsimConfig::default().with_seed(seed);
-    let matrix = characterize_frames(&shaders, &frames, &gpu);
+    let (_, matrix) = characterize_stream(&path, &gpu, &config)?;
     let selection = select_representatives(&matrix, &config);
     println!(
         "{} frames -> {} representatives ({:.1}x reduction)",
-        frames.len(),
+        matrix.frames(),
         selection.k(),
         selection.reduction_factor()
     );
@@ -250,14 +338,21 @@ fn estimate(opts: &mut Options) -> Result<(), String> {
     let path = opts.trace_path()?;
     let seed: u64 = opts.flag("seed", 42)?;
     let ground_truth = opts.has("ground-truth");
-    let (shaders, frames) = load_trace(&path)?;
     let gpu = GpuConfig::mali450_like();
     let config = MegsimConfig::default().with_seed(seed);
-    let matrix = characterize_frames(&shaders, &frames, &gpu);
+    let (shaders, matrix) = characterize_stream(&path, &gpu, &config)?;
     let selection = select_representatives(&matrix, &config);
+    // A second streaming pass picks up just the representative frames;
+    // the rest of the trace flows through without being retained.
+    let wanted: HashSet<usize> = selection
+        .representatives
+        .iter()
+        .map(|r| r.frame_index)
+        .collect();
+    let reps = collect_frames_by_index(&path, &wanted)?;
     // Simulate only the representatives, scale by cluster sizes.
     let rep_stats =
-        megsim_core::simulate_representatives(|i| frames[i].clone(), &selection, &shaders, &gpu);
+        megsim_core::simulate_representatives(|i| reps[&i].clone(), &selection, &shaders, &gpu);
     let mut estimated = megsim_timing::FrameStats::default();
     for (stats, rep) in rep_stats.iter().zip(&selection.representatives) {
         estimated.merge(&stats.scaled(rep.cluster_size as u64));
@@ -265,7 +360,7 @@ fn estimate(opts: &mut Options) -> Result<(), String> {
     println!(
         "simulated {} of {} frames ({:.1}x fewer)",
         selection.k(),
-        frames.len(),
+        matrix.frames(),
         selection.reduction_factor()
     );
     println!("estimated totals:");
@@ -276,7 +371,11 @@ fn estimate(opts: &mut Options) -> Result<(), String> {
     println!("  IPC:                 {:.2}", estimated.ipc());
     if ground_truth {
         eprintln!("running full ground-truth simulation...");
-        let per_frame = simulate_sequence(frames.iter().cloned(), &shaders, &gpu);
+        // Third streaming pass: the full simulation also replays off
+        // the file handle, overlapping decode with render and timing.
+        let mut frames = StreamedFrames::open(&path)?;
+        let per_frame = simulate_sequence(&mut frames, &shaders, &gpu);
+        frames.finish(&path)?;
         let run = evaluate_megsim(&matrix, &per_frame, &config);
         println!("relative errors vs full simulation (estimates from full-run frames):");
         println!("  cycles:              {:.3}%", run.errors.cycles * 100.0);
@@ -364,6 +463,57 @@ mod tests {
         let plan_csv = std::fs::read_to_string(&plan).expect("plan written");
         assert!(plan_csv.starts_with("cluster,frame,cluster_size"));
         assert!(plan_csv.lines().count() > 1);
+    }
+
+    #[test]
+    fn v2_traces_replay_identically_to_v1() {
+        let v1 = tmp("codec_v1.mglt");
+        let v2 = tmp("codec_v2.mglt");
+        for (path, version) in [(&v1, "1"), (&v2, "2")] {
+            run(&argv(&[
+                "record",
+                "--benchmark",
+                "jjo",
+                "--scale",
+                "0.01",
+                "--seed",
+                "9",
+                "--codec-version",
+                version,
+                "--out",
+                path,
+            ]))
+            .expect("record");
+        }
+        let v1_size = std::fs::metadata(&v1).expect("v1 written").len();
+        let v2_size = std::fs::metadata(&v2).expect("v2 written").len();
+        assert!(v2_size < v1_size, "v2 ({v2_size}) not smaller ({v1_size})");
+        run(&argv(&["info", &v2])).expect("info decodes v2");
+        let f1 = tmp("codec_v1.csv");
+        let f2 = tmp("codec_v2.csv");
+        run(&argv(&["characterize", &v1, "--out", &f1])).expect("characterize v1");
+        run(&argv(&["characterize", &v2, "--out", &f2])).expect("characterize v2");
+        let csv1 = std::fs::read_to_string(&f1).expect("v1 features");
+        let csv2 = std::fs::read_to_string(&f2).expect("v2 features");
+        assert_eq!(csv1, csv2, "wire version changed replay semantics");
+    }
+
+    #[test]
+    fn record_rejects_unknown_codec_version() {
+        let out = tmp("codec_v3.mglt");
+        let err = run(&argv(&[
+            "record",
+            "--benchmark",
+            "jjo",
+            "--scale",
+            "0.01",
+            "--codec-version",
+            "3",
+            "--out",
+            &out,
+        ]))
+        .unwrap_err();
+        assert!(err.contains("codec-version"), "{err}");
     }
 
     #[test]

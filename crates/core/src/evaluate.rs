@@ -11,6 +11,12 @@
 //! ([`simulate_sequence_warm`]) is order-dependent but still overlaps
 //! rendering with timing through a bounded ordered pipeline.
 //!
+//! The sequence passes consume their frames through a bounded
+//! [`megsim_exec::iter_pipeline`] rather than collecting them first, so
+//! a streaming source — `megsim-gl`'s frame-granular trace
+//! decoder — flows through decode → render → timing with only a
+//! window of frames resident, regardless of trace length.
+//!
 //! The same independence makes per-frame results memoizable: the
 //! parallel passes consult the content-addressed [`crate::frame_cache`]
 //! so a frame that reappears — across random-sampling trials, repeated
@@ -28,11 +34,22 @@ use crate::features::{feature_matrix, FeatureMatrix};
 use crate::frame_cache;
 use crate::pipeline::{select_representatives, MegsimConfig, Selection};
 
+/// How many frames the streaming passes let the source (e.g. a trace
+/// decoder) run ahead of the slowest stage. Frames are the large
+/// buffered intermediate, so the window stays modest while still
+/// keeping every worker fed.
+const STREAM_PIPELINE_DEPTH: usize = 16;
+
 /// Fast functional characterization pass (paper §III-B): renders every
 /// frame functionally (in parallel across frames) and returns the
 /// `N × D` feature matrix.
+///
+/// Frames are pulled off the iterator incrementally and never
+/// materialized as a whole sequence: a streaming source (a trace
+/// decoder) is characterized in O(window) frame memory via
+/// [`megsim_exec::iter_pipeline`].
 pub fn characterize_sequence(
-    frames: impl Iterator<Item = Frame>,
+    frames: impl Iterator<Item = Frame> + Send,
     shaders: &ShaderTable,
     gpu_config: &GpuConfig,
     config: &MegsimConfig,
@@ -43,10 +60,15 @@ pub fn characterize_sequence(
     };
     let renderer = Renderer::new(render_config);
     let config_fp = frame_cache::activity_config_fingerprint(&render_config, shaders);
-    let frames: Vec<Frame> = frames.collect();
-    let activities = megsim_exec::par_map_indexed(&frames, |_, f| {
-        frame_cache::activity_or_else(config_fp, f, || renderer.frame_activity(f, shaders))
-    });
+    let mut activities = Vec::new();
+    megsim_exec::iter_pipeline(
+        frames,
+        STREAM_PIPELINE_DEPTH,
+        |_, f: Frame| {
+            frame_cache::activity_or_else(config_fp, &f, || renderer.frame_activity(&f, shaders))
+        },
+        |_, activity| activities.push(activity),
+    );
     feature_matrix(activities.iter(), shaders, &config.characterization)
 }
 
@@ -60,7 +82,7 @@ pub fn characterize_sequence(
 /// the old warm-cache sequential semantics use
 /// [`simulate_sequence_warm`].
 pub fn simulate_sequence(
-    frames: impl Iterator<Item = Frame>,
+    frames: impl Iterator<Item = Frame> + Send,
     shaders: &ShaderTable,
     gpu_config: &GpuConfig,
 ) -> Vec<FrameStats> {
@@ -69,37 +91,46 @@ pub fn simulate_sequence(
         mode: gpu_config.render_mode,
     });
     let config_fp = frame_cache::stats_config_fingerprint(gpu_config, shaders);
-    let frames: Vec<Frame> = frames.collect();
-    megsim_exec::par_map_indexed(&frames, |_, f| {
-        frame_cache::stats_or_else(config_fp, f, || {
-            let trace = renderer.render_frame(f, shaders);
-            let mut gpu = Gpu::new(gpu_config.clone());
-            gpu.simulate_frame(&trace, shaders)
-        })
-    })
+    let mut stats = Vec::new();
+    megsim_exec::iter_pipeline(
+        frames,
+        STREAM_PIPELINE_DEPTH,
+        |_, f: Frame| {
+            frame_cache::stats_or_else(config_fp, &f, || {
+                let trace = renderer.render_frame(&f, shaders);
+                let mut gpu = Gpu::new(gpu_config.clone());
+                gpu.simulate_frame(&trace, shaders)
+            })
+        },
+        |_, s| stats.push(s),
+    );
+    stats
 }
 
 /// How many rendered traces the warm pipeline buffers ahead of the
 /// timing model. Traces are the large intermediate here, so the window
-/// is kept small; it only needs to cover render-time jitter.
+/// is kept smaller than [`STREAM_PIPELINE_DEPTH`]; it only needs to
+/// cover render-time jitter.
 const WARM_PIPELINE_DEPTH: usize = 4;
 
 /// Cycle-level simulation with memory-hierarchy state warmed across
 /// frames — the ground-truth semantics for cache-warm-up studies.
 ///
 /// Timing is inherently order-dependent (one GPU state threads through
-/// every frame), but functional rendering is not: frame `N + 1` renders
-/// on the worker pool while frame `N` runs through the timing model,
-/// via [`megsim_exec::ordered_pipeline`]. The timing model consumes
-/// traces strictly in frame order on the caller thread, so the results
-/// are bit-identical to [`simulate_sequence_warm_sequential`] at every
-/// thread count.
+/// every frame), but functional rendering is not: the source stage
+/// pulls (e.g. decodes) frame `N + 2` while frame `N + 1` renders on
+/// the worker pool and frame `N` runs through the timing model, via
+/// [`megsim_exec::iter_pipeline`]. The timing model consumes traces
+/// strictly in frame order on the caller thread, so the results are
+/// bit-identical to [`simulate_sequence_warm_sequential`] at every
+/// thread count — and the frame sequence is never materialized, so a
+/// streaming trace decoder replays in O(window) frame memory.
 ///
 /// At the end of the sequence the device goes idle and the L2 drains:
 /// its remaining dirty lines are written back and counted on the last
 /// frame's L2 counters (idle-time writebacks).
 pub fn simulate_sequence_warm(
-    frames: impl Iterator<Item = Frame>,
+    frames: impl Iterator<Item = Frame> + Send,
     shaders: &ShaderTable,
     gpu_config: &GpuConfig,
 ) -> Vec<FrameStats> {
@@ -107,13 +138,12 @@ pub fn simulate_sequence_warm(
         viewport: gpu_config.viewport,
         mode: gpu_config.render_mode,
     });
-    let frames: Vec<Frame> = frames.collect();
     let mut gpu = Gpu::new(gpu_config.clone());
-    let mut stats = Vec::with_capacity(frames.len());
-    megsim_exec::ordered_pipeline(
-        frames.len(),
+    let mut stats = Vec::new();
+    megsim_exec::iter_pipeline(
+        frames,
         WARM_PIPELINE_DEPTH,
-        |i| renderer.render_frame(&frames[i], shaders),
+        |_, f: Frame| renderer.render_frame(&f, shaders),
         |_, trace| stats.push(gpu.simulate_frame(&trace, shaders)),
     );
     drain_idle_l2(&mut gpu, &mut stats);

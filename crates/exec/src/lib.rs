@@ -41,7 +41,7 @@ pub mod cache;
 pub mod pipeline;
 
 pub use cache::ConcurrentCache;
-pub use pipeline::{ordered_pipeline, shard_merge};
+pub use pipeline::{iter_pipeline, ordered_pipeline, shard_merge};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};

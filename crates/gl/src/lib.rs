@@ -8,7 +8,10 @@
 //! * [`recorder`] — records frame sequences into deduplicated streams
 //! * [`player`] — replays a stream through a GL state machine back into
 //!   frames (validating resource references)
-//! * [`codec`] — the compact binary trace-file format (`MGLT`)
+//! * [`codec`] — the compact binary trace-file format (`MGLT`, wire
+//!   versions 1 and 2)
+//! * [`stream`] — incremental decoding and frame-granular streaming
+//!   replay from any `Read` source with O(frame) peak memory
 //!
 //! ```
 //! use megsim_gl::{decode, encode, play, record_sequence};
@@ -31,8 +34,13 @@ pub mod codec;
 pub mod command;
 pub mod player;
 pub mod recorder;
+pub mod stream;
 
-pub use codec::{decode, encode, DecodeError, FORMAT_VERSION};
+pub use codec::{
+    decode, encode, encode_v2, encode_with_version, DecodeError, DecodeErrorKind, FORMAT_VERSION,
+    FORMAT_VERSION_V2,
+};
 pub use command::{BufferId, Command, CommandStream};
-pub use player::{play, PlayError, Replay};
+pub use player::{play, PlayError, Replay, StreamPlayer};
 pub use recorder::{record_sequence, Recorder};
+pub use stream::{FrameIter, StreamDecoder, TraceError};

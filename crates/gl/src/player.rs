@@ -48,75 +48,141 @@ pub struct Replay {
     pub frames: Vec<Frame>,
 }
 
-/// Replays a stream.
+/// Incremental GL state machine: commands are fed one at a time and
+/// whole frames come out on each [`Command::SwapBuffers`].
+///
+/// This is the replay engine behind both the materialized [`play`] and
+/// the streaming [`crate::stream::FrameIter`] — one implementation, so
+/// streamed and materialized replay are identical by construction. The
+/// player retains only the resource tables (meshes, textures, shaders —
+/// state any GL replay must keep, shared via [`Arc`] with the frames it
+/// emits) plus the frame under construction, never the command history.
+#[derive(Debug)]
+pub struct StreamPlayer {
+    shaders: ShaderTable,
+    buffers: HashMap<BufferId, Arc<Mesh>>,
+    textures: HashMap<TextureId, TextureDesc>,
+    current: Frame,
+    // GL default state.
+    program: Option<(ShaderId, ShaderId)>,
+    texture: Option<TextureId>,
+    matrix: Mat4,
+    blend: BlendMode,
+    depth: bool,
+}
+
+impl Default for StreamPlayer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamPlayer {
+    /// A player in the GL default state with empty resource tables.
+    pub fn new() -> Self {
+        Self {
+            shaders: ShaderTable::new(),
+            buffers: HashMap::new(),
+            textures: HashMap::new(),
+            current: Frame::new(),
+            program: None,
+            texture: None,
+            matrix: Mat4::IDENTITY,
+            blend: BlendMode::Opaque,
+            depth: false,
+        }
+    }
+
+    /// The shader programs uploaded so far.
+    pub fn shaders(&self) -> &ShaderTable {
+        &self.shaders
+    }
+
+    /// Consumes the player, returning its shader library.
+    pub fn into_shaders(self) -> ShaderTable {
+        self.shaders
+    }
+
+    /// Processes one command; returns the completed frame when the
+    /// command is a [`Command::SwapBuffers`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PlayError`] when the command references resources
+    /// that were never uploaded or draws without a bound program.
+    pub fn feed(&mut self, cmd: Command) -> Result<Option<Frame>, PlayError> {
+        match cmd {
+            Command::BufferData { id, mesh } => {
+                self.buffers.insert(id, Arc::new(mesh));
+            }
+            Command::TexImage(desc) => {
+                self.textures.insert(desc.id, desc);
+            }
+            Command::ProgramData(p) => {
+                let expected = match p.kind {
+                    megsim_gfx::shader::ShaderKind::Vertex => self.shaders.vertex_count(),
+                    megsim_gfx::shader::ShaderKind::Fragment => self.shaders.fragment_count(),
+                };
+                if p.id.0 as usize != expected {
+                    return Err(PlayError::BadProgramUpload);
+                }
+                self.shaders.add(p);
+            }
+            Command::UseProgram { vertex, fragment } => self.program = Some((vertex, fragment)),
+            Command::BindTexture(t) => {
+                if let Some(id) = t {
+                    if !self.textures.contains_key(&id) {
+                        return Err(PlayError::UnknownTexture(id));
+                    }
+                }
+                self.texture = t;
+            }
+            Command::UniformMatrix(m) => self.matrix = m,
+            Command::Blend(b) => self.blend = b,
+            Command::DepthTest(d) => self.depth = d,
+            Command::Draw(buffer) => {
+                let mesh = self
+                    .buffers
+                    .get(&buffer)
+                    .ok_or(PlayError::UnknownBuffer(buffer))?;
+                let (vertex_shader, fragment_shader) =
+                    self.program.ok_or(PlayError::NoProgramBound)?;
+                self.current.draws.push(DrawCall {
+                    mesh: Arc::clone(mesh),
+                    transform: self.matrix,
+                    vertex_shader,
+                    fragment_shader,
+                    texture: self.texture.map(|id| self.textures[&id]),
+                    blend: self.blend,
+                    depth_test: self.depth,
+                });
+            }
+            Command::SwapBuffers => {
+                return Ok(Some(std::mem::take(&mut self.current)));
+            }
+        }
+        Ok(None)
+    }
+}
+
+/// Replays a materialized stream.
 ///
 /// # Errors
 ///
 /// Returns a [`PlayError`] when the stream references resources it never
 /// uploaded or draws without a bound program.
 pub fn play(stream: &CommandStream) -> Result<Replay, PlayError> {
-    let mut shaders = ShaderTable::new();
-    let mut buffers: HashMap<BufferId, Arc<Mesh>> = HashMap::new();
-    let mut textures: HashMap<TextureId, TextureDesc> = HashMap::new();
+    let mut player = StreamPlayer::new();
     let mut frames = Vec::new();
-    let mut current = Frame::new();
-    // GL default state.
-    let mut program: Option<(ShaderId, ShaderId)> = None;
-    let mut texture: Option<TextureId> = None;
-    let mut matrix = Mat4::IDENTITY;
-    let mut blend = BlendMode::Opaque;
-    let mut depth = false;
     for cmd in &stream.commands {
-        match cmd {
-            Command::BufferData { id, mesh } => {
-                buffers.insert(*id, Arc::new(mesh.clone()));
-            }
-            Command::TexImage(desc) => {
-                textures.insert(desc.id, *desc);
-            }
-            Command::ProgramData(p) => {
-                let expected = match p.kind {
-                    megsim_gfx::shader::ShaderKind::Vertex => shaders.vertex_count(),
-                    megsim_gfx::shader::ShaderKind::Fragment => shaders.fragment_count(),
-                };
-                if p.id.0 as usize != expected {
-                    return Err(PlayError::BadProgramUpload);
-                }
-                shaders.add(p.clone());
-            }
-            Command::UseProgram { vertex, fragment } => program = Some((*vertex, *fragment)),
-            Command::BindTexture(t) => {
-                if let Some(id) = t {
-                    if !textures.contains_key(id) {
-                        return Err(PlayError::UnknownTexture(*id));
-                    }
-                }
-                texture = *t;
-            }
-            Command::UniformMatrix(m) => matrix = *m,
-            Command::Blend(b) => blend = *b,
-            Command::DepthTest(d) => depth = *d,
-            Command::Draw(buffer) => {
-                let mesh = buffers
-                    .get(buffer)
-                    .ok_or(PlayError::UnknownBuffer(*buffer))?;
-                let (vertex_shader, fragment_shader) = program.ok_or(PlayError::NoProgramBound)?;
-                current.draws.push(DrawCall {
-                    mesh: Arc::clone(mesh),
-                    transform: matrix,
-                    vertex_shader,
-                    fragment_shader,
-                    texture: texture.map(|id| textures[&id]),
-                    blend,
-                    depth_test: depth,
-                });
-            }
-            Command::SwapBuffers => {
-                frames.push(std::mem::take(&mut current));
-            }
+        if let Some(frame) = player.feed(cmd.clone())? {
+            frames.push(frame);
         }
     }
-    Ok(Replay { shaders, frames })
+    Ok(Replay {
+        shaders: player.into_shaders(),
+        frames,
+    })
 }
 
 #[cfg(test)]

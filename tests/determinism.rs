@@ -156,6 +156,50 @@ fn tile_sharded_timing_is_bit_identical_at_any_thread_count() {
     }
 }
 
+/// Streamed replay — frames decoded incrementally off the trace bytes
+/// and piped straight into the warm decode → render → timing pipeline —
+/// is bit-identical to materialized replay (decode-all, play, then
+/// simulate) in every render mode, on both wire versions, at every
+/// worker-pool size.
+#[test]
+fn streamed_replay_is_bit_identical_to_materialized() {
+    use megsim_core::evaluate::simulate_sequence_warm;
+    use megsim_funcsim::RenderMode;
+    use megsim_gl::{decode, encode_with_version, play, record_sequence, FrameIter};
+
+    let workload = by_alias("pvz", 0.02, 11).expect("known alias");
+    let frames: Vec<_> = (0..12).map(|i| workload.frame(i)).collect();
+    let stream = record_sequence(workload.shaders(), &frames);
+
+    for version in [1u16, 2] {
+        let bytes = encode_with_version(&stream, version).expect("supported version");
+        let replay = play(&decode(&bytes).expect("valid trace")).expect("valid stream");
+        for mode in [
+            RenderMode::TileBased,
+            RenderMode::TileBasedDeferred,
+            RenderMode::Immediate,
+        ] {
+            let mut cfg = GpuConfig::small(128, 128);
+            cfg.render_mode = mode;
+            megsim_exec::set_threads(1);
+            let baseline =
+                simulate_sequence_warm(replay.frames.iter().cloned(), &replay.shaders, &cfg);
+            for threads in [1usize, 2, 8] {
+                megsim_exec::set_threads(threads);
+                let iter = FrameIter::new(std::io::Cursor::new(&bytes[..])).expect("valid header");
+                let shaders = iter.shaders().clone();
+                let streamed =
+                    simulate_sequence_warm(iter.map(|f| f.expect("valid frame")), &shaders, &cfg);
+                assert_eq!(
+                    streamed, baseline,
+                    "streamed replay differs: v{version} {mode:?} at {threads} threads"
+                );
+            }
+            megsim_exec::set_threads(0);
+        }
+    }
+}
+
 #[test]
 fn pipeline_is_bit_identical_at_any_thread_count() {
     let mut runs = Vec::new();
