@@ -37,6 +37,12 @@ commands:
                representatives and report estimated totals; with
                --ground-truth also run the full simulation and report
                the Fig. 7 relative errors
+  batch        <manifest>
+               run a manifest of campaigns concurrently on one worker
+               pool and one shared frame cache; each line reads
+               `<name> <characterize|estimate> <trace> [seed=N]
+               [out=PATH] [ground-truth]` (# comments allowed); prints
+               a per-campaign cache-tier table
   help         print this message
 
 global options:
@@ -44,26 +50,85 @@ global options:
                env or all cores); results are identical at any count
   --no-frame-cache
                disable the content-addressed frame-result cache (results
-               are identical either way; only wall-clock time changes)";
+               are identical either way; only wall-clock time changes)
+  --cache-dir DIR
+               attach a persistent on-disk frame-result store under DIR
+               (also via MEGSIM_CACHE_DIR) so repeated runs start warm
+               across processes; corrupt or unwritable store data only
+               warns and degrades to a cold run, never fails
+  --no-persist ignore MEGSIM_CACHE_DIR for this run";
 
 /// Dispatches a full argv (including program name).
 pub fn run(argv: &[String]) -> Result<(), String> {
+    use megsim_core::frame_cache;
     let mut opts = Options::parse(argv)?;
     let threads: usize = opts.flag("threads", 0)?;
     megsim_exec::set_threads(threads);
-    megsim_core::frame_cache::set_enabled(!opts.has("no-frame-cache"));
-    match opts.command.as_str() {
+    frame_cache::set_enabled(!opts.has("no-frame-cache"));
+    // Attach the persistent disk tier if requested. Opening can only
+    // fail on directory-level problems, and even then the run proceeds
+    // cold: a broken cache must never fail a campaign.
+    let cache_dir = opts.flags.get("cache-dir").cloned().or_else(|| {
+        if opts.has("no-persist") {
+            None
+        } else {
+            std::env::var("MEGSIM_CACHE_DIR")
+                .ok()
+                .filter(|s| !s.is_empty())
+        }
+    });
+    let store_attached = match &cache_dir {
+        Some(dir) => match frame_cache::set_store_dir(std::path::Path::new(dir)) {
+            Ok(()) => true,
+            Err(e) => {
+                eprintln!("warning: cannot open cache dir {dir}: {e}; running cold");
+                false
+            }
+        },
+        None => false,
+    };
+    let before = frame_cache::report();
+    let result = match opts.command.as_str() {
         "record" => record(&mut opts),
         "info" => info(&mut opts),
         "characterize" => characterize(&mut opts),
         "select" => select(&mut opts),
         "estimate" => estimate(&mut opts),
+        "batch" => batch(&mut opts),
         "help" | "--help" | "-h" | "" => {
             println!("{USAGE}");
             Ok(())
         }
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    };
+    // Per-invocation cache accounting: the delta since dispatch, not
+    // process-lifetime totals (they differ under tests and embedding).
+    let delta = frame_cache::report().delta_since(&before);
+    let lookups = delta.activity_hits
+        + delta.activity_disk_hits
+        + delta.activity_shared_hits
+        + delta.activity_misses
+        + delta.stats_hits
+        + delta.stats_disk_hits
+        + delta.stats_shared_hits
+        + delta.stats_misses;
+    if frame_cache::is_enabled() && lookups > 0 {
+        eprintln!("{}", delta.summary());
     }
+    if store_attached {
+        match frame_cache::flush_store() {
+            Ok(sealed) => {
+                if sealed > 0 {
+                    eprintln!("cache store: sealed {sealed} new records");
+                }
+            }
+            Err(e) => eprintln!("warning: cache store flush failed: {e}"),
+        }
+        // Detach so embedding callers (and the CLI tests) that invoke
+        // `run` repeatedly in one process get per-invocation stores.
+        frame_cache::detach_store();
+    }
+    result
 }
 
 /// Parsed command line: a subcommand, positional arguments and flags.
@@ -88,7 +153,7 @@ impl Options {
         while i < rest.len() {
             let a = rest[i];
             if let Some(name) = a.strip_prefix("--") {
-                if name == "ground-truth" || name == "no-frame-cache" {
+                if name == "ground-truth" || name == "no-frame-cache" || name == "no-persist" {
                     bools.push(name.to_string());
                     i += 1;
                 } else {
@@ -392,10 +457,104 @@ fn estimate(opts: &mut Options) -> Result<(), String> {
             run.errors.tile_cache_accesses * 100.0
         );
     }
-    if megsim_core::frame_cache::is_enabled() {
-        eprintln!("{}", megsim_core::frame_cache::report().summary());
-    }
     Ok(())
+}
+
+/// Runs one batch campaign body. Returns the campaign's one-line
+/// summary; all detail goes to `out=` files so concurrent campaigns
+/// never interleave on stdout.
+fn run_campaign(job: &megsim_core::BatchJob) -> Result<String, String> {
+    use megsim_core::BatchOp;
+    let gpu = GpuConfig::mali450_like();
+    let config = MegsimConfig::default().with_seed(job.seed);
+    match job.op {
+        BatchOp::Characterize => {
+            let (_, matrix) = characterize_stream(&job.trace, &gpu, &config)?;
+            let mut summary = format!("{} x {} features", matrix.frames(), matrix.dim());
+            if let Some(out) = &job.out {
+                let csv = report::feature_matrix_csv(&matrix);
+                std::fs::write(out, csv).map_err(|e| format!("cannot write {out}: {e}"))?;
+                summary.push_str(&format!(" -> {out}"));
+            }
+            Ok(summary)
+        }
+        BatchOp::Estimate => {
+            let (shaders, matrix) = characterize_stream(&job.trace, &gpu, &config)?;
+            let selection = select_representatives(&matrix, &config);
+            let wanted: HashSet<usize> = selection
+                .representatives
+                .iter()
+                .map(|r| r.frame_index)
+                .collect();
+            let reps = collect_frames_by_index(&job.trace, &wanted)?;
+            let rep_stats = megsim_core::simulate_representatives(
+                |i| reps[&i].clone(),
+                &selection,
+                &shaders,
+                &gpu,
+            );
+            let mut estimated = megsim_timing::FrameStats::default();
+            for (stats, rep) in rep_stats.iter().zip(&selection.representatives) {
+                estimated.merge(&stats.scaled(rep.cluster_size as u64));
+            }
+            let mut summary = format!(
+                "{}/{} frames, {} cycles",
+                selection.k(),
+                matrix.frames(),
+                estimated.cycles
+            );
+            if job.ground_truth {
+                let mut frames = StreamedFrames::open(&job.trace)?;
+                let per_frame = simulate_sequence(&mut frames, &shaders, &gpu);
+                frames.finish(&job.trace)?;
+                let run = evaluate_megsim(&matrix, &per_frame, &config);
+                summary.push_str(&format!(", cycles err {:.3}%", run.errors.cycles * 100.0));
+            }
+            if let Some(out) = &job.out {
+                let mut csv = String::from("metric,value\n");
+                use std::fmt::Write as _;
+                let _ = writeln!(csv, "frames,{}", matrix.frames());
+                let _ = writeln!(csv, "representatives,{}", selection.k());
+                let _ = writeln!(csv, "cycles,{}", estimated.cycles);
+                let _ = writeln!(csv, "dram_accesses,{}", estimated.dram_accesses());
+                let _ = writeln!(csv, "l2_accesses,{}", estimated.l2_accesses());
+                let _ = writeln!(
+                    csv,
+                    "tile_cache_accesses,{}",
+                    estimated.tile_cache_accesses()
+                );
+                std::fs::write(out, csv).map_err(|e| format!("cannot write {out}: {e}"))?;
+                summary.push_str(&format!(" -> {out}"));
+            }
+            Ok(summary)
+        }
+    }
+}
+
+fn batch(opts: &mut Options) -> Result<(), String> {
+    let manifest_path = opts.trace_path()?;
+    let text = std::fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("cannot read {manifest_path}: {e}"))?;
+    let jobs = megsim_core::parse_manifest(&text)?;
+    if jobs.is_empty() {
+        return Err(format!("{manifest_path}: no campaigns in manifest"));
+    }
+    eprintln!(
+        "batch: {} campaigns on {} worker threads",
+        jobs.len(),
+        megsim_exec::thread_count()
+    );
+    let report = megsim_core::run_batch(&jobs, run_campaign);
+    print!("{}", report.table());
+    if report.failures() > 0 {
+        Err(format!(
+            "{} of {} campaigns failed",
+            report.failures(),
+            report.campaigns.len()
+        ))
+    } else {
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -514,6 +673,72 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("codec-version"), "{err}");
+    }
+
+    #[test]
+    fn batch_runs_manifest_campaigns() {
+        let trace = tmp("batch.mglt");
+        run(&argv(&[
+            "record",
+            "--benchmark",
+            "jjo",
+            "--scale",
+            "0.01",
+            "--seed",
+            "3",
+            "--out",
+            &trace,
+        ]))
+        .expect("record");
+        let feat = tmp("batch_features.csv");
+        let est = tmp("batch_estimate.csv");
+        let manifest = tmp("batch.manifest");
+        std::fs::write(
+            &manifest,
+            format!(
+                "# two campaigns over one trace\n\
+                 feats characterize {trace} out={feat}\n\
+                 totals estimate {trace} seed=5 out={est}\n"
+            ),
+        )
+        .expect("write manifest");
+        run(&argv(&["batch", &manifest])).expect("batch");
+        let csv = std::fs::read_to_string(&feat).expect("features written");
+        assert!(csv.starts_with("frame,vscv_0"));
+        let csv = std::fs::read_to_string(&est).expect("estimate written");
+        assert!(csv.starts_with("metric,value"));
+        assert!(csv.contains("cycles,"));
+    }
+
+    #[test]
+    fn batch_surfaces_campaign_failures() {
+        let manifest = tmp("bad_batch.manifest");
+        std::fs::write(&manifest, "ghost estimate /nonexistent/x.mglt\n").expect("write");
+        let err = run(&argv(&["batch", &manifest])).unwrap_err();
+        assert!(err.contains("1 of 1"), "{err}");
+    }
+
+    #[test]
+    fn bad_cache_dir_warns_but_does_not_fail() {
+        let trace = tmp("cachedir.mglt");
+        run(&argv(&[
+            "record",
+            "--benchmark",
+            "jjo",
+            "--scale",
+            "0.01",
+            "--seed",
+            "8",
+            "--out",
+            &trace,
+        ]))
+        .expect("record");
+        // A cache dir that cannot be created (parent is a file): the
+        // run must degrade to cold, not fail.
+        let blocker = tmp("not_a_dir");
+        std::fs::write(&blocker, b"file").expect("write");
+        let inside = format!("{blocker}/cache");
+        run(&argv(&["characterize", &trace, "--cache-dir", &inside])).expect("runs cold");
     }
 
     #[test]

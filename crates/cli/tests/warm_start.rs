@@ -1,0 +1,169 @@
+//! Cross-process warm start: a second `megsim` process pointed at the
+//! same `--cache-dir` must serve its frame results from the disk tier
+//! (>=90% disk hits) and produce byte-identical output — and a
+//! corrupted store must degrade to recompute, never fail the run or
+//! change a byte of it.
+//!
+//! Runs the real binary via `CARGO_BIN_EXE_megsim`, so each invocation
+//! is a genuinely separate process with a cold memory tier.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn megsim(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_megsim"))
+        .args(args)
+        .env_remove("MEGSIM_CACHE_DIR")
+        .output()
+        .expect("megsim binary runs")
+}
+
+fn megsim_ok(args: &[&str]) -> Output {
+    let out = megsim(args);
+    assert!(
+        out.status.success(),
+        "megsim {args:?} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    out
+}
+
+/// Parses the per-invocation cache summary line
+/// `frame cache: activity mem A disk B shared C computed D, stats ...`
+/// into (disk_hits, computed) summed over both kinds.
+fn parse_cache_line(stderr: &[u8]) -> (u64, u64) {
+    let text = String::from_utf8_lossy(stderr);
+    let line = text
+        .lines()
+        .find(|l| l.starts_with("frame cache:"))
+        .unwrap_or_else(|| panic!("no cache summary in stderr:\n{text}"));
+    let tokens: Vec<&str> = line.split_whitespace().collect();
+    let value_after = |key: &str| -> u64 {
+        tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| **t == key)
+            .map(|(i, _)| {
+                tokens[i + 1]
+                    .trim_end_matches(',')
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| panic!("bad {key} value in: {line}"))
+            })
+            .sum()
+    };
+    (value_after("disk"), value_after("computed"))
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("megsim_warm_start_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn second_process_starts_warm_from_disk_and_survives_corruption() {
+    let dir = temp_dir("main");
+    let cache = dir.join("cache");
+    let cache = cache.to_str().expect("utf-8");
+    let trace = dir.join("trace.mglt");
+    let trace = trace.to_str().expect("utf-8");
+    megsim_ok(&[
+        "record",
+        "--benchmark",
+        "pvz",
+        "--scale",
+        "0.01",
+        "--seed",
+        "42",
+        "--out",
+        trace,
+    ]);
+
+    // Process 1: cold — everything computes, then persists.
+    let cold_csv = dir.join("cold.csv");
+    let out = megsim_ok(&[
+        "characterize",
+        trace,
+        "--cache-dir",
+        cache,
+        "--out",
+        cold_csv.to_str().unwrap(),
+    ]);
+    let (disk, computed) = parse_cache_line(&out.stderr);
+    assert_eq!(disk, 0, "first process cannot hit disk");
+    assert!(computed > 0);
+
+    // Process 2: warm — served from the store the first process sealed.
+    let warm_csv = dir.join("warm.csv");
+    let out = megsim_ok(&[
+        "characterize",
+        trace,
+        "--cache-dir",
+        cache,
+        "--out",
+        warm_csv.to_str().unwrap(),
+    ]);
+    let (disk, computed) = parse_cache_line(&out.stderr);
+    assert!(
+        disk >= 9 * (disk + computed) / 10 && disk > 0,
+        "warm process should be >=90% disk hits, got disk {disk} computed {computed}"
+    );
+    assert_eq!(
+        read(&cold_csv),
+        read(&warm_csv),
+        "disk-tier hits changed the output"
+    );
+
+    // Corrupt every segment (bit-flip mid-file) plus one pure-garbage
+    // file: process 3 must still succeed with byte-identical output.
+    for entry in std::fs::read_dir(cache).expect("list cache") {
+        let path = entry.expect("entry").path();
+        if path.extension().is_some_and(|x| x == "seg") {
+            let mut bytes = read(&path);
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0x01;
+            std::fs::write(&path, bytes).expect("rewrite segment");
+        }
+    }
+    std::fs::write(Path::new(cache).join("zz-junk.seg"), b"garbage").expect("junk");
+    let corrupt_csv = dir.join("corrupt.csv");
+    megsim_ok(&[
+        "characterize",
+        trace,
+        "--cache-dir",
+        cache,
+        "--out",
+        corrupt_csv.to_str().unwrap(),
+    ]);
+    assert_eq!(
+        read(&cold_csv),
+        read(&corrupt_csv),
+        "corrupt store changed the output"
+    );
+
+    // And with the store gone entirely, `--no-persist` + env var is a
+    // plain cold run with identical output.
+    let nocache_csv = dir.join("nocache.csv");
+    let out = Command::new(env!("CARGO_BIN_EXE_megsim"))
+        .args([
+            "characterize",
+            trace,
+            "--no-persist",
+            "--out",
+            nocache_csv.to_str().unwrap(),
+        ])
+        .env("MEGSIM_CACHE_DIR", cache)
+        .output()
+        .expect("megsim runs");
+    assert!(out.status.success());
+    let (disk, _) = parse_cache_line(&out.stderr);
+    assert_eq!(disk, 0, "--no-persist must ignore MEGSIM_CACHE_DIR");
+    assert_eq!(read(&cold_csv), read(&nocache_csv));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

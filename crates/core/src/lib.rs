@@ -42,6 +42,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod estimate;
 pub mod evaluate;
 pub mod features;
@@ -51,6 +52,7 @@ pub mod pipeline;
 pub mod random_sampling;
 pub mod similarity;
 
+pub use batch::{parse_manifest, run_batch, BatchJob, BatchOp, BatchReport, CampaignReport};
 pub use estimate::{estimate_totals, metric_errors, sequence_totals, MetricErrors};
 pub use evaluate::{
     characterize_sequence, evaluate_megsim, simulate_representatives, simulate_sequence,

@@ -46,9 +46,13 @@ impl<V: Clone> ConcurrentCache<V> {
         &self.shards[(key >> 124) as usize & (SHARDS - 1)]
     }
 
-    /// Looks `key` up, counting a hit or miss.
+    /// Looks `key` up, counting a hit or miss. The counter update
+    /// happens under the shard lock, so a [`stats`](Self::stats) or
+    /// [`clear`](Self::clear) holding every shard observes counters and
+    /// contents as one consistent snapshot.
     pub fn lookup(&self, key: u128) -> Option<V> {
-        let found = self.shard(key).lock().get(&key).cloned();
+        let shard = self.shard(key).lock();
+        let found = shard.get(&key).cloned();
         if found.is_some() {
             self.hits.fetch_add(1, Ordering::Relaxed);
         } else {
@@ -99,14 +103,51 @@ impl<V: Clone> ConcurrentCache<V> {
         self.len() == 0
     }
 
-    /// Drops all entries and zeroes the statistics.
+    /// Locks every shard at once, in index order (the only multi-shard
+    /// acquisition in the crate, so the fixed order cannot deadlock).
+    fn lock_all(&self) -> Vec<std::sync::MutexGuard<'_, HashMap<u128, V>>> {
+        self.shards.iter().map(Mutex::lock).collect()
+    }
+
+    /// One consistent snapshot of the counters and entry count.
+    ///
+    /// Taken while holding every shard lock, so no concurrent insert,
+    /// lookup or clear can land between reading the counters and
+    /// counting the entries — `hits + misses` always equals the number
+    /// of lookups that contributed to `entries`.
+    pub fn stats(&self) -> CacheSnapshot {
+        let guards = self.lock_all();
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: guards.iter().map(|g| g.len()).sum(),
+        }
+    }
+
+    /// Drops all entries and zeroes the statistics as one atomic
+    /// transition: every shard lock is held while both the maps and the
+    /// counters reset, so a concurrent lookup can never see cleared
+    /// shards with stale counters (or vice versa).
     pub fn clear(&self) {
-        for shard in &self.shards {
-            shard.lock().clear();
+        let mut guards = self.lock_all();
+        for guard in &mut guards {
+            guard.clear();
         }
         self.hits.store(0, Ordering::Relaxed);
         self.misses.store(0, Ordering::Relaxed);
     }
+}
+
+/// A consistent point-in-time view of a [`ConcurrentCache`]'s activity,
+/// from [`ConcurrentCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries stored at snapshot time.
+    pub entries: usize,
 }
 
 #[cfg(test)]
@@ -163,6 +204,50 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn stats_snapshot_is_consistent_under_concurrent_inserts() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let cache = Arc::new(ConcurrentCache::new(4096));
+        let stop = Arc::new(AtomicBool::new(false));
+        let writers: Vec<_> = (0..4)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for k in 0..512u128 {
+                        let key = (k << 112) ^ (t as u128);
+                        cache.get_or_insert_with(key, || k as u64);
+                    }
+                })
+            })
+            .collect();
+        let reader = {
+            let cache = Arc::clone(&cache);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                while !stop.load(Ordering::Relaxed) {
+                    let snap = cache.stats();
+                    // Every stored entry was inserted after a counted
+                    // miss, and the snapshot holds all shard locks, so
+                    // it can never observe more entries than misses.
+                    assert!(
+                        snap.entries as u64 <= snap.misses,
+                        "inconsistent snapshot: {snap:?}"
+                    );
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        stop.store(true, Ordering::Relaxed);
+        reader.join().unwrap();
+        let snap = cache.stats();
+        assert_eq!(snap.entries, cache.len());
+        assert_eq!(snap.hits, cache.hits());
+        assert_eq!(snap.misses, cache.misses());
     }
 
     #[test]

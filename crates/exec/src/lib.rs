@@ -39,9 +39,11 @@
 
 pub mod cache;
 pub mod pipeline;
+pub mod single_flight;
 
-pub use cache::ConcurrentCache;
+pub use cache::{CacheSnapshot, ConcurrentCache};
 pub use pipeline::{iter_pipeline, ordered_pipeline, shard_merge};
+pub use single_flight::{FlightOutcome, SingleFlight};
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};

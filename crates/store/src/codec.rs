@@ -1,0 +1,424 @@
+//! Byte codec for the two record types the frame cache persists:
+//! [`FrameActivity`] (characterization results) and [`FrameStats`]
+//! (timing results, which embed an activity block).
+//!
+//! Every counter in both types is a `u64`, so the encoding is a flat
+//! little-endian field dump behind a one-byte record kind and a format
+//! version — trivially bit-exact across processes and platforms.
+//! Decoding is *total*: any malformed input (wrong kind, unknown
+//! version, truncation, trailing bytes, absurd vector lengths) returns
+//! `None`, which the cache tier treats as a plain miss.
+
+use std::sync::Arc;
+
+use megsim_funcsim::FrameActivity;
+use megsim_mem::{CacheStats, DramStats, MemoryStats};
+use megsim_timing::{FrameStats, UnitBusy};
+
+/// Version of the record encoding. Bump on any layout change; old
+/// records then decode as misses and get re-simulated once.
+pub const CODEC_VERSION: u16 = 1;
+
+/// Record kind tag for [`FrameActivity`] payloads.
+const KIND_ACTIVITY: u8 = 1;
+/// Record kind tag for [`FrameStats`] payloads.
+const KIND_STATS: u8 = 2;
+
+/// Cap on the per-shader vector lengths a decoder will allocate.
+const MAX_SHADERS: u32 = 1 << 20;
+
+/// Little-endian field writer.
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new(kind: u8) -> Self {
+        let mut buf = Vec::with_capacity(512);
+        buf.push(kind);
+        buf.extend_from_slice(&CODEC_VERSION.to_le_bytes());
+        Self { buf }
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Little-endian field reader over a borrowed payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn open(buf: &'a [u8], kind: u8) -> Option<Self> {
+        let mut r = Self { buf, pos: 0 };
+        if r.u8()? != kind || r.u16()? != CODEC_VERSION {
+            return None;
+        }
+        Some(r)
+    }
+
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        let slice = self.buf.get(self.pos..end)?;
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_le_bytes(self.take(2)?.try_into().ok()?))
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_le_bytes(self.take(4)?.try_into().ok()?))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_le_bytes(self.take(8)?.try_into().ok()?))
+    }
+
+    /// Decoding must consume the payload exactly.
+    fn finish(self) -> Option<()> {
+        (self.pos == self.buf.len()).then_some(())
+    }
+}
+
+fn write_activity_body(w: &mut Writer, a: &FrameActivity) {
+    w.u32(a.vertex_shader_invocations.len() as u32);
+    for &v in &a.vertex_shader_invocations {
+        w.u64(v);
+    }
+    w.u32(a.fragment_shader_invocations.len() as u32);
+    for &v in &a.fragment_shader_invocations {
+        w.u64(v);
+    }
+    for v in [
+        a.vertices_fetched,
+        a.vertices_shaded,
+        a.primitives_assembled,
+        a.primitives_clipped,
+        a.primitives_culled_backface,
+        a.primitives_culled_degenerate,
+        a.primitives_emitted,
+        a.tile_bin_entries,
+        a.tiles_touched,
+        a.quads_rasterized,
+        a.fragments_rasterized,
+        a.fragments_early_z_culled,
+        a.fragments_hsr_culled,
+        a.fragments_shaded,
+        a.blend_ops,
+        a.vertex_instructions,
+        a.fragment_instructions,
+    ] {
+        w.u64(v);
+    }
+    for v in a.texture_samples {
+        w.u64(v);
+    }
+}
+
+fn read_shader_vec(r: &mut Reader) -> Option<Vec<u64>> {
+    let len = r.u32()?;
+    if len > MAX_SHADERS {
+        return None;
+    }
+    let mut v = Vec::with_capacity(len as usize);
+    for _ in 0..len {
+        v.push(r.u64()?);
+    }
+    Some(v)
+}
+
+fn read_activity_body(r: &mut Reader) -> Option<FrameActivity> {
+    let mut a = FrameActivity {
+        vertex_shader_invocations: read_shader_vec(r)?,
+        fragment_shader_invocations: read_shader_vec(r)?,
+        ..FrameActivity::default()
+    };
+    a.vertices_fetched = r.u64()?;
+    a.vertices_shaded = r.u64()?;
+    a.primitives_assembled = r.u64()?;
+    a.primitives_clipped = r.u64()?;
+    a.primitives_culled_backface = r.u64()?;
+    a.primitives_culled_degenerate = r.u64()?;
+    a.primitives_emitted = r.u64()?;
+    a.tile_bin_entries = r.u64()?;
+    a.tiles_touched = r.u64()?;
+    a.quads_rasterized = r.u64()?;
+    a.fragments_rasterized = r.u64()?;
+    a.fragments_early_z_culled = r.u64()?;
+    a.fragments_hsr_culled = r.u64()?;
+    a.fragments_shaded = r.u64()?;
+    a.blend_ops = r.u64()?;
+    a.vertex_instructions = r.u64()?;
+    a.fragment_instructions = r.u64()?;
+    for slot in &mut a.texture_samples {
+        *slot = r.u64()?;
+    }
+    Some(a)
+}
+
+fn write_cache_stats(w: &mut Writer, c: &CacheStats) {
+    for v in [c.reads, c.writes, c.hits, c.misses, c.writebacks] {
+        w.u64(v);
+    }
+}
+
+fn read_cache_stats(r: &mut Reader) -> Option<CacheStats> {
+    Some(CacheStats {
+        reads: r.u64()?,
+        writes: r.u64()?,
+        hits: r.u64()?,
+        misses: r.u64()?,
+        writebacks: r.u64()?,
+    })
+}
+
+fn write_dram_stats(w: &mut Writer, d: &DramStats) {
+    for v in [
+        d.reads,
+        d.writes,
+        d.row_hits,
+        d.row_misses,
+        d.bus_busy_cycles,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn read_dram_stats(r: &mut Reader) -> Option<DramStats> {
+    Some(DramStats {
+        reads: r.u64()?,
+        writes: r.u64()?,
+        row_hits: r.u64()?,
+        row_misses: r.u64()?,
+        bus_busy_cycles: r.u64()?,
+    })
+}
+
+fn write_unit_busy(w: &mut Writer, u: &UnitBusy) {
+    for v in [
+        u.vertex_fetch,
+        u.vertex_alu,
+        u.prim_assembly,
+        u.polygon_list_write,
+        u.polygon_list_read,
+        u.rasterizer,
+        u.early_z,
+        u.fragment_alu,
+        u.texture_pipe,
+        u.blending,
+        u.flush,
+    ] {
+        w.u64(v);
+    }
+}
+
+fn read_unit_busy(r: &mut Reader) -> Option<UnitBusy> {
+    Some(UnitBusy {
+        vertex_fetch: r.u64()?,
+        vertex_alu: r.u64()?,
+        prim_assembly: r.u64()?,
+        polygon_list_write: r.u64()?,
+        polygon_list_read: r.u64()?,
+        rasterizer: r.u64()?,
+        early_z: r.u64()?,
+        fragment_alu: r.u64()?,
+        texture_pipe: r.u64()?,
+        blending: r.u64()?,
+        flush: r.u64()?,
+    })
+}
+
+/// Encodes a characterization record.
+pub fn encode_activity(a: &FrameActivity) -> Vec<u8> {
+    let mut w = Writer::new(KIND_ACTIVITY);
+    write_activity_body(&mut w, a);
+    w.buf
+}
+
+/// Decodes a characterization record; `None` means "treat as a miss".
+pub fn decode_activity(bytes: &[u8]) -> Option<FrameActivity> {
+    let mut r = Reader::open(bytes, KIND_ACTIVITY)?;
+    let a = read_activity_body(&mut r)?;
+    r.finish()?;
+    Some(a)
+}
+
+/// Encodes a timing record (activity block embedded).
+pub fn encode_stats(s: &FrameStats) -> Vec<u8> {
+    let mut w = Writer::new(KIND_STATS);
+    for v in [s.cycles, s.geometry_cycles, s.raster_cycles, s.instructions] {
+        w.u64(v);
+    }
+    write_cache_stats(&mut w, &s.vertex_cache);
+    write_cache_stats(&mut w, &s.texture_cache);
+    write_cache_stats(&mut w, &s.tile_cache);
+    write_cache_stats(&mut w, &s.memory.l2);
+    write_dram_stats(&mut w, &s.memory.dram);
+    w.u64(s.color_buffer_accesses);
+    w.u64(s.depth_buffer_accesses);
+    write_unit_busy(&mut w, &s.unit_busy);
+    write_activity_body(&mut w, &s.activity);
+    w.buf
+}
+
+/// Decodes a timing record; `None` means "treat as a miss".
+pub fn decode_stats(bytes: &[u8]) -> Option<FrameStats> {
+    let mut r = Reader::open(bytes, KIND_STATS)?;
+    let mut s = FrameStats {
+        cycles: r.u64()?,
+        geometry_cycles: r.u64()?,
+        raster_cycles: r.u64()?,
+        instructions: r.u64()?,
+        ..FrameStats::default()
+    };
+    s.vertex_cache = read_cache_stats(&mut r)?;
+    s.texture_cache = read_cache_stats(&mut r)?;
+    s.tile_cache = read_cache_stats(&mut r)?;
+    s.memory = MemoryStats {
+        l2: read_cache_stats(&mut r)?,
+        dram: read_dram_stats(&mut r)?,
+    };
+    s.color_buffer_accesses = r.u64()?;
+    s.depth_buffer_accesses = r.u64()?;
+    s.unit_busy = read_unit_busy(&mut r)?;
+    s.activity = Arc::new(read_activity_body(&mut r)?);
+    r.finish()?;
+    Some(s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn busy_activity() -> FrameActivity {
+        FrameActivity {
+            vertex_shader_invocations: vec![3, 0, u64::MAX],
+            fragment_shader_invocations: vec![7; 5],
+            vertices_fetched: 11,
+            vertices_shaded: 12,
+            primitives_assembled: 13,
+            primitives_clipped: 14,
+            primitives_culled_backface: 15,
+            primitives_culled_degenerate: 16,
+            primitives_emitted: 17,
+            tile_bin_entries: 18,
+            tiles_touched: 19,
+            quads_rasterized: 20,
+            fragments_rasterized: 21,
+            fragments_early_z_culled: 22,
+            fragments_hsr_culled: 23,
+            fragments_shaded: 24,
+            texture_samples: [25, 26, 27, 28],
+            blend_ops: 29,
+            vertex_instructions: 30,
+            fragment_instructions: 31,
+        }
+    }
+
+    fn busy_stats() -> FrameStats {
+        let mut s = FrameStats {
+            cycles: 1,
+            geometry_cycles: 2,
+            raster_cycles: 3,
+            instructions: 4,
+            color_buffer_accesses: 5,
+            depth_buffer_accesses: 6,
+            activity: Arc::new(busy_activity()),
+            ..FrameStats::default()
+        };
+        s.vertex_cache.reads = 41;
+        s.texture_cache.writes = 42;
+        s.tile_cache.hits = 43;
+        s.memory.l2.misses = 44;
+        s.memory.dram.row_hits = 45;
+        s.unit_busy.fragment_alu = 46;
+        s.unit_busy.flush = 47;
+        s
+    }
+
+    #[test]
+    fn activity_round_trips_bit_exactly() {
+        let a = busy_activity();
+        assert_eq!(decode_activity(&encode_activity(&a)), Some(a));
+        let empty = FrameActivity::default();
+        assert_eq!(decode_activity(&encode_activity(&empty)), Some(empty));
+    }
+
+    #[test]
+    fn stats_round_trip_bit_exactly() {
+        let s = busy_stats();
+        assert_eq!(decode_stats(&encode_stats(&s)), Some(s));
+        let d = FrameStats::default();
+        assert_eq!(decode_stats(&encode_stats(&d)), Some(d));
+    }
+
+    #[test]
+    fn kinds_are_disjoint() {
+        assert!(decode_stats(&encode_activity(&busy_activity())).is_none());
+        assert!(decode_activity(&encode_stats(&busy_stats())).is_none());
+    }
+
+    #[test]
+    fn truncations_and_trailing_bytes_are_misses() {
+        let bytes = encode_stats(&busy_stats());
+        for cut in 0..bytes.len() {
+            assert!(decode_stats(&bytes[..cut]).is_none(), "cut at {cut}");
+        }
+        let mut longer = bytes.clone();
+        longer.push(0);
+        assert!(decode_stats(&longer).is_none());
+    }
+
+    #[test]
+    fn unknown_version_is_a_miss() {
+        let mut bytes = encode_activity(&busy_activity());
+        bytes[1] = 0xFF;
+        assert!(decode_activity(&bytes).is_none());
+    }
+
+    #[test]
+    fn absurd_vector_length_is_a_miss() {
+        let mut w = Writer::new(KIND_ACTIVITY);
+        w.u32(MAX_SHADERS + 1);
+        assert!(decode_activity(&w.buf).is_none());
+    }
+
+    proptest! {
+        /// Any byte flip either fails to decode or decodes to different
+        /// content — silent aliasing of damaged records back to the
+        /// original would defeat the CRC layer's purpose. (The CRC
+        /// normally rejects damage before the codec ever runs; this
+        /// pins the codec's own honesty.)
+        #[test]
+        fn decoding_is_the_inverse_of_encoding(
+            cycles in any::<u64>(),
+            instructions in any::<u64>(),
+            vs in proptest::collection::vec(any::<u64>(), 0..8),
+            fs in proptest::collection::vec(any::<u64>(), 0..8),
+        ) {
+            let mut s = busy_stats();
+            s.cycles = cycles;
+            s.instructions = instructions;
+            s.activity = Arc::new(FrameActivity {
+                vertex_shader_invocations: vs,
+                fragment_shader_invocations: fs,
+                ..busy_activity()
+            });
+            prop_assert_eq!(decode_stats(&encode_stats(&s)), Some(s));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # megsim-store
+//!
+//! Persistent cross-run frame-result store.
+//!
+//! The in-process content-addressed frame cache
+//! (`megsim_exec::ConcurrentCache` keyed by `megsim_core::frame_cache`'s
+//! 128-bit fingerprints) dies with the process, so repeated campaigns
+//! over overlapping workloads re-simulate everything. This crate is the
+//! disk tier underneath it: an on-disk, content-addressed
+//! `fingerprint → FrameStats / FrameActivity` store that lets
+//! characterize / simulate / representative passes start warm across
+//! processes.
+//!
+//! * [`Store`] — sharded append-only log segments under one directory,
+//!   a compact in-memory index built on open, CRC-guarded records, and
+//!   atomic-rename segment rotation for crash consistency. Torn,
+//!   bit-flipped or missing data *always* degrades to a miss; nothing
+//!   the store reads can fail a run.
+//! * [`codec`] — the versioned byte encoding of the two record types.
+//!   Every counter is a `u64`, so records are bit-exact across
+//!   processes, and any malformed payload decodes as a miss.
+//!
+//! The tier wiring (read-through on miss, write-behind on compute,
+//! single-flight dedup of concurrent identical frames) lives in
+//! `megsim_core::frame_cache`; this crate stays a plain durable map.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod codec;
+pub mod crc;
+pub mod segment;
+pub mod store;
+
+pub use store::{Store, StoreStats};

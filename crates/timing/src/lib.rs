@@ -39,6 +39,6 @@ pub mod timing_reference;
 
 pub use config::{GpuConfig, QueueConfig};
 pub use gpu::{Gpu, ShardMode};
-pub use stats::{FrameStats, SequenceStats};
+pub use stats::{FrameStats, SequenceStats, UnitBusy};
 #[cfg(any(test, feature = "reference"))]
 pub use timing_reference::ReferenceGpu;
