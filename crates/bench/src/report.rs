@@ -138,6 +138,23 @@ pub fn core_note(cores: usize) -> &'static str {
     }
 }
 
+/// Context entries every streaming-clustering reading needs written
+/// next to it: the problem size and the memory knobs. A streaming
+/// speedup is unreadable without the `cluster_n_frames` it was
+/// measured at, and a peak-memory reading cannot be compared across
+/// PRs without the `stream_reservoir_size` that bounded it.
+pub fn stream_context_entries(
+    n_frames: usize,
+    reservoir_size: usize,
+    batch_size: usize,
+) -> Vec<(String, f64)> {
+    vec![
+        ("cluster_n_frames".to_string(), n_frames as f64),
+        ("stream_reservoir_size".to_string(), reservoir_size as f64),
+        ("stream_batch_size".to_string(), batch_size as f64),
+    ]
+}
+
 /// Merges `entries` into the flat-JSON benchmark summary at `path`,
 /// creating the file if absent. Existing keys are overwritten by new
 /// values; keys only present in the file are preserved, so the
@@ -221,6 +238,25 @@ mod tests {
                 ("c".to_string(), 3.0)
             ]
         );
+    }
+
+    #[test]
+    fn stream_context_entries_name_the_knobs() {
+        let entries = stream_context_entries(100_000, 1024, 256);
+        assert_eq!(
+            entries,
+            vec![
+                ("cluster_n_frames".to_string(), 100_000.0),
+                ("stream_reservoir_size".to_string(), 1024.0),
+                ("stream_batch_size".to_string(), 256.0),
+            ]
+        );
+        // The keys must survive the round trip through the flat JSON.
+        let back = parse_bench_json(&bench_json(&entries));
+        assert_eq!(back.len(), 3);
+        assert!(back
+            .iter()
+            .any(|(k, v)| k == "cluster_n_frames" && *v == 100_000.0));
     }
 
     #[test]

@@ -6,8 +6,8 @@ use std::io::BufReader;
 
 use megsim_bench::report;
 use megsim_core::evaluate::{characterize_sequence, evaluate_megsim, simulate_sequence};
-use megsim_core::pipeline::{select_representatives, MegsimConfig};
-use megsim_core::FeatureMatrix;
+use megsim_core::pipeline::{select_representatives, MegsimConfig, StreamClusterConfig};
+use megsim_core::{metric_errors, sequence_totals, FeatureMatrix, StreamSelection};
 use megsim_gfx::draw::Frame;
 use megsim_gfx::shader::{ShaderKind, ShaderTable};
 use megsim_gl::{
@@ -29,10 +29,10 @@ commands:
   characterize <trace.mglt> [--out features.csv]
                replay the trace functionally and emit the N x D
                feature matrix (paper §III-B)
-  select       <trace.mglt> [--out plan.csv] [--seed N]
+  select       <trace.mglt> [--out plan.csv] [--seed N] [--stream-cluster]
                cluster the frames and print the representative plan
                (paper §III-E/F)
-  estimate     <trace.mglt> [--seed N] [--ground-truth]
+  estimate     <trace.mglt> [--seed N] [--ground-truth] [--stream-cluster]
                run MEGsim end-to-end on the trace: simulate only the
                representatives and report estimated totals; with
                --ground-truth also run the full simulation and report
@@ -56,7 +56,16 @@ global options:
                (also via MEGSIM_CACHE_DIR) so repeated runs start warm
                across processes; corrupt or unwritable store data only
                warns and degrades to a cold run, never fails
-  --no-persist ignore MEGSIM_CACHE_DIR for this run";
+  --no-persist ignore MEGSIM_CACHE_DIR for this run
+  --stream-cluster
+               (select/estimate) fuse characterize + cluster into one
+               single-pass online clustering stage with bounded memory:
+               only a frame reservoir, the micro-centroids and the
+               current frame are retained, O(n*k) in the trace length;
+               --reservoir N caps retained feature rows (default 1024;
+               0 = unbounded exact mode, bitwise identical to the
+               two-pass path) and --stream-batch N sets the mini-batch
+               size (default 256)";
 
 /// Dispatches a full argv (including program name).
 pub fn run(argv: &[String]) -> Result<(), String> {
@@ -153,7 +162,11 @@ impl Options {
         while i < rest.len() {
             let a = rest[i];
             if let Some(name) = a.strip_prefix("--") {
-                if name == "ground-truth" || name == "no-frame-cache" || name == "no-persist" {
+                if name == "ground-truth"
+                    || name == "no-frame-cache"
+                    || name == "no-persist"
+                    || name == "stream-cluster"
+                {
                     bools.push(name.to_string());
                     i += 1;
                 } else {
@@ -255,7 +268,7 @@ impl Iterator for StreamedFrames {
 /// One streaming characterization pass over a trace file: returns the
 /// shader library (decoded from the trace prelude) and the `N × D`
 /// feature matrix, holding only a window of frames in memory.
-fn characterize_stream(
+fn characterize_trace(
     path: &str,
     gpu: &GpuConfig,
     config: &MegsimConfig,
@@ -265,6 +278,38 @@ fn characterize_stream(
     let matrix = characterize_sequence(&mut frames, &shaders, gpu, config);
     frames.finish(path)?;
     Ok((shaders, matrix))
+}
+
+/// Parses the streaming-clustering knobs shared by `select` and
+/// `estimate` (`--reservoir`, `--stream-batch`).
+fn stream_cluster_config(opts: &Options) -> Result<StreamClusterConfig, String> {
+    let defaults = StreamClusterConfig::default();
+    let capacity: usize = opts.flag("reservoir", defaults.reservoir_capacity)?;
+    let batch: usize = opts.flag("stream-batch", defaults.batch_size)?;
+    if batch == 0 {
+        return Err("--stream-batch must be at least 1".into());
+    }
+    Ok(defaults
+        .with_reservoir_capacity(capacity)
+        .with_batch_size(batch))
+}
+
+/// One fused decode → characterize → cluster pass over a trace file
+/// (`--stream-cluster`): frames flow through the online clusterer and
+/// are dropped, so memory stays bounded by the reservoir instead of
+/// growing with the trace. Returns the shader library and the
+/// streaming selection.
+fn select_stream(
+    path: &str,
+    gpu: &GpuConfig,
+    config: &MegsimConfig,
+    stream: &StreamClusterConfig,
+) -> Result<(ShaderTable, StreamSelection), String> {
+    let mut frames = StreamedFrames::open(path)?;
+    let shaders = frames.iter.shaders().clone();
+    let selection = megsim_core::characterize_stream(&mut frames, &shaders, gpu, config, stream);
+    frames.finish(path)?;
+    Ok((shaders, selection))
 }
 
 /// Second streaming pass of `estimate`: re-decodes the trace and keeps
@@ -354,7 +399,7 @@ fn info(opts: &mut Options) -> Result<(), String> {
 fn characterize(opts: &mut Options) -> Result<(), String> {
     let path = opts.trace_path()?;
     let gpu = GpuConfig::mali450_like();
-    let (_, matrix) = characterize_stream(&path, &gpu, &MegsimConfig::default())?;
+    let (_, matrix) = characterize_trace(&path, &gpu, &MegsimConfig::default())?;
     let csv = report::feature_matrix_csv(&matrix);
     match opts.flags.get("out") {
         Some(out) => {
@@ -375,11 +420,24 @@ fn select(opts: &mut Options) -> Result<(), String> {
     let seed: u64 = opts.flag("seed", 42)?;
     let gpu = GpuConfig::mali450_like();
     let config = MegsimConfig::default().with_seed(seed);
-    let (_, matrix) = characterize_stream(&path, &gpu, &config)?;
-    let selection = select_representatives(&matrix, &config);
+    let selection = if opts.has("stream-cluster") {
+        let stream = stream_cluster_config(opts)?;
+        let (_, streamed) = select_stream(&path, &gpu, &config, &stream)?;
+        eprintln!(
+            "stream-cluster: retained {} of {} rows (peak {}), probe k {}",
+            streamed.reservoir_len,
+            streamed.selection.labels.len(),
+            streamed.peak_rows_retained,
+            streamed.live_k
+        );
+        streamed.selection
+    } else {
+        let (_, matrix) = characterize_trace(&path, &gpu, &config)?;
+        select_representatives(&matrix, &config)
+    };
     println!(
         "{} frames -> {} representatives ({:.1}x reduction)",
-        matrix.frames(),
+        selection.labels.len(),
         selection.k(),
         selection.reduction_factor()
     );
@@ -405,8 +463,25 @@ fn estimate(opts: &mut Options) -> Result<(), String> {
     let ground_truth = opts.has("ground-truth");
     let gpu = GpuConfig::mali450_like();
     let config = MegsimConfig::default().with_seed(seed);
-    let (shaders, matrix) = characterize_stream(&path, &gpu, &config)?;
-    let selection = select_representatives(&matrix, &config);
+    // The fused single-pass path never materializes the feature
+    // matrix, so `--ground-truth` errors are then computed from the
+    // scaled representative totals instead of `evaluate_megsim`.
+    let (shaders, matrix, selection) = if opts.has("stream-cluster") {
+        let stream = stream_cluster_config(opts)?;
+        let (shaders, streamed) = select_stream(&path, &gpu, &config, &stream)?;
+        eprintln!(
+            "stream-cluster: retained {} of {} rows (peak {}), probe k {}",
+            streamed.reservoir_len,
+            streamed.selection.labels.len(),
+            streamed.peak_rows_retained,
+            streamed.live_k
+        );
+        (shaders, None, streamed.selection)
+    } else {
+        let (shaders, matrix) = characterize_trace(&path, &gpu, &config)?;
+        let selection = select_representatives(&matrix, &config);
+        (shaders, Some(matrix), selection)
+    };
     // A second streaming pass picks up just the representative frames;
     // the rest of the trace flows through without being retained.
     let wanted: HashSet<usize> = selection
@@ -425,7 +500,7 @@ fn estimate(opts: &mut Options) -> Result<(), String> {
     println!(
         "simulated {} of {} frames ({:.1}x fewer)",
         selection.k(),
-        matrix.frames(),
+        selection.labels.len(),
         selection.reduction_factor()
     );
     println!("estimated totals:");
@@ -441,20 +516,29 @@ fn estimate(opts: &mut Options) -> Result<(), String> {
         let mut frames = StreamedFrames::open(&path)?;
         let per_frame = simulate_sequence(&mut frames, &shaders, &gpu);
         frames.finish(&path)?;
-        let run = evaluate_megsim(&matrix, &per_frame, &config);
-        println!("relative errors vs full simulation (estimates from full-run frames):");
-        println!("  cycles:              {:.3}%", run.errors.cycles * 100.0);
+        let errors = match &matrix {
+            Some(matrix) => {
+                let run = evaluate_megsim(matrix, &per_frame, &config);
+                println!("relative errors vs full simulation (estimates from full-run frames):");
+                run.errors
+            }
+            None => {
+                let actual = sequence_totals(&per_frame);
+                println!(
+                    "relative errors vs full simulation (estimates from representative runs):"
+                );
+                metric_errors(&estimated, &actual)
+            }
+        };
+        println!("  cycles:              {:.3}%", errors.cycles * 100.0);
         println!(
             "  DRAM accesses:       {:.3}%",
-            run.errors.dram_accesses * 100.0
+            errors.dram_accesses * 100.0
         );
-        println!(
-            "  L2 accesses:         {:.3}%",
-            run.errors.l2_accesses * 100.0
-        );
+        println!("  L2 accesses:         {:.3}%", errors.l2_accesses * 100.0);
         println!(
             "  tile-cache accesses: {:.3}%",
-            run.errors.tile_cache_accesses * 100.0
+            errors.tile_cache_accesses * 100.0
         );
     }
     Ok(())
@@ -469,7 +553,7 @@ fn run_campaign(job: &megsim_core::BatchJob) -> Result<String, String> {
     let config = MegsimConfig::default().with_seed(job.seed);
     match job.op {
         BatchOp::Characterize => {
-            let (_, matrix) = characterize_stream(&job.trace, &gpu, &config)?;
+            let (_, matrix) = characterize_trace(&job.trace, &gpu, &config)?;
             let mut summary = format!("{} x {} features", matrix.frames(), matrix.dim());
             if let Some(out) = &job.out {
                 let csv = report::feature_matrix_csv(&matrix);
@@ -479,7 +563,7 @@ fn run_campaign(job: &megsim_core::BatchJob) -> Result<String, String> {
             Ok(summary)
         }
         BatchOp::Estimate => {
-            let (shaders, matrix) = characterize_stream(&job.trace, &gpu, &config)?;
+            let (shaders, matrix) = characterize_trace(&job.trace, &gpu, &config)?;
             let selection = select_representatives(&matrix, &config);
             let wanted: HashSet<usize> = selection
                 .representatives
@@ -535,7 +619,7 @@ fn batch(opts: &mut Options) -> Result<(), String> {
     let manifest_path = opts.trace_path()?;
     let text = std::fs::read_to_string(&manifest_path)
         .map_err(|e| format!("cannot read {manifest_path}: {e}"))?;
-    let jobs = megsim_core::parse_manifest(&text)?;
+    let jobs = megsim_core::parse_manifest(&text).map_err(|e| format!("{manifest_path}: {e}"))?;
     if jobs.is_empty() {
         return Err(format!("{manifest_path}: no campaigns in manifest"));
     }
@@ -622,6 +706,83 @@ mod tests {
         let plan_csv = std::fs::read_to_string(&plan).expect("plan written");
         assert!(plan_csv.starts_with("cluster,frame,cluster_size"));
         assert!(plan_csv.lines().count() > 1);
+    }
+
+    #[test]
+    fn stream_cluster_exact_mode_matches_the_two_pass_plan() {
+        let trace = tmp("stream_exact.mglt");
+        run(&argv(&[
+            "record",
+            "--benchmark",
+            "jjo",
+            "--scale",
+            "0.02",
+            "--seed",
+            "7",
+            "--out",
+            &trace,
+        ]))
+        .expect("record");
+        let batch_plan = tmp("stream_exact_batch.csv");
+        run(&argv(&["select", &trace, "--out", &batch_plan])).expect("two-pass select");
+        let stream_plan = tmp("stream_exact_stream.csv");
+        run(&argv(&[
+            "select",
+            &trace,
+            "--stream-cluster",
+            "--reservoir",
+            "0",
+            "--out",
+            &stream_plan,
+        ]))
+        .expect("single-pass select");
+        let batch_csv = std::fs::read_to_string(&batch_plan).expect("batch plan");
+        let stream_csv = std::fs::read_to_string(&stream_plan).expect("stream plan");
+        assert_eq!(
+            batch_csv, stream_csv,
+            "exact streaming mode must reproduce the two-pass plan"
+        );
+    }
+
+    #[test]
+    fn stream_cluster_bounded_estimate_runs_with_ground_truth() {
+        let trace = tmp("stream_bounded.mglt");
+        run(&argv(&[
+            "record",
+            "--benchmark",
+            "jjo",
+            "--scale",
+            "0.02",
+            "--seed",
+            "11",
+            "--out",
+            &trace,
+        ]))
+        .expect("record");
+        run(&argv(&[
+            "estimate",
+            &trace,
+            "--stream-cluster",
+            "--reservoir",
+            "24",
+            "--stream-batch",
+            "8",
+            "--ground-truth",
+        ]))
+        .expect("bounded streaming estimate");
+    }
+
+    #[test]
+    fn stream_cluster_rejects_a_zero_mini_batch() {
+        let err = run(&argv(&[
+            "select",
+            "/nonexistent/x.mglt",
+            "--stream-cluster",
+            "--stream-batch",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("stream-batch"), "{err}");
     }
 
     #[test]

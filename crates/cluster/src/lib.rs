@@ -39,6 +39,7 @@ pub mod kmeans_reference;
 pub mod matrix;
 pub mod search;
 pub mod silhouette;
+pub mod stream;
 
 pub use bic::bic_score;
 pub use kmeans::{
@@ -50,6 +51,7 @@ pub use kmeans_reference::ReferenceKMeans;
 pub use matrix::{PointMatrix, SoaPoints};
 pub use search::{candidate_seed, search_clusters, SearchConfig, SearchResult, SearchScratch};
 pub use silhouette::{
-    best_by_silhouette, silhouette_score, try_best_by_silhouette, try_silhouette_score,
-    SilhouetteError,
+    best_by_silhouette, silhouette_score, try_best_by_silhouette, try_best_by_silhouette_with,
+    try_sampled_silhouette_score, try_silhouette_score, SilhouetteError, SilhouetteSample,
 };
+pub use stream::{probe_seed, reservoir_seed, StreamClusterer, StreamConfig, StreamOutcome};

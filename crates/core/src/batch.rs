@@ -91,10 +91,14 @@ pub fn parse_manifest(text: &str) -> Result<Vec<BatchJob>, String> {
         let at = |msg: String| format!("manifest line {}: {msg}", lineno + 1);
         let mut tokens = line.split_whitespace();
         let name = tokens.next().expect("non-empty line").to_string();
-        let op = tokens
+        let op_token = tokens
             .next()
-            .and_then(BatchOp::parse)
             .ok_or_else(|| at("expected 'characterize' or 'estimate' after the name".into()))?;
+        let op = BatchOp::parse(op_token).ok_or_else(|| {
+            at(format!(
+                "expected 'characterize' or 'estimate' after the name, got '{op_token}'"
+            ))
+        })?;
         let trace = tokens
             .next()
             .ok_or_else(|| at("expected a trace path".into()))?
@@ -301,6 +305,29 @@ mod tests {
             assert!(err.contains(needle), "{bad}: {err}");
             assert!(err.contains("line"), "{bad}: {err}");
         }
+    }
+
+    #[test]
+    fn manifest_errors_name_the_line_and_the_offending_token() {
+        // The ISSUE 9 satellite: a malformed entry must surface *which*
+        // line and *which* token broke, not an opaque failure.
+        let err = parse_manifest(
+            "# header comment\n\
+             good characterize a.mglt\n\
+             \n\
+             bad frobnicate b.mglt\n",
+        )
+        .expect_err("bad op must fail");
+        assert!(err.contains("manifest line 4"), "wrong line: {err}");
+        assert!(err.contains("'frobnicate'"), "token not named: {err}");
+
+        let err = parse_manifest("solo estimate t.mglt typo=1").expect_err("unknown token");
+        assert!(err.contains("manifest line 1"), "{err}");
+        assert!(err.contains("'typo=1'"), "{err}");
+
+        let err = parse_manifest("solo estimate t.mglt seed=xyz").expect_err("bad seed");
+        assert!(err.contains("manifest line 1"), "{err}");
+        assert!(err.contains("'xyz'"), "{err}");
     }
 
     #[test]

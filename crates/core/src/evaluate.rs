@@ -29,10 +29,16 @@ use megsim_gfx::draw::Frame;
 use megsim_gfx::shader::ShaderTable;
 use megsim_timing::{FrameStats, Gpu, GpuConfig};
 
+use megsim_cluster::StreamClusterer;
+
 use crate::estimate::{estimate_totals, metric_errors, sequence_totals, MetricErrors};
-use crate::features::{feature_matrix, FeatureMatrix};
+use crate::features::{characterize_frame_into, feature_matrix, FeatureMatrix};
 use crate::frame_cache;
-use crate::pipeline::{select_representatives, MegsimConfig, Selection};
+use crate::normalize::RunningGroupMass;
+use crate::pipeline::{
+    finish_stream, select_representatives, MegsimConfig, Selection, StreamClusterConfig,
+    StreamSelection,
+};
 
 /// How many frames the streaming passes let the source (e.g. a trace
 /// decoder) run ahead of the slowest stage. Frames are the large
@@ -70,6 +76,80 @@ pub fn characterize_sequence(
         |_, activity| activities.push(activity),
     );
     feature_matrix(activities.iter(), shaders, &config.characterization)
+}
+
+/// True single-pass MEGsim selection: frames flow decoder → functional
+/// characterization → online clusterer in one bounded pipeline, and the
+/// whole-sequence barrier of the two-pass flow (materialize the feature
+/// matrix, then cluster it) disappears.
+///
+/// Characterization fans out on the worker pool
+/// ([`megsim_exec::iter_fold`]); the caller thread folds each frame's
+/// feature row — in strict arrival order — into the running §III-C
+/// group masses and the [`StreamClusterer`]. Peak feature memory is the
+/// clusterer's reservoir plus one mini-batch plus the pipeline window,
+/// independent of sequence length.
+///
+/// With `stream.reservoir_capacity == 0` the returned selection is
+/// **bitwise** what [`characterize_sequence`] +
+/// [`crate::pipeline::select_representatives`] produce, at any thread
+/// count — the oracle the proptest suite and the CI determinism matrix
+/// pin.
+///
+/// # Panics
+///
+/// Panics if the sequence is empty.
+pub fn characterize_stream(
+    frames: impl Iterator<Item = Frame> + Send,
+    shaders: &ShaderTable,
+    gpu_config: &GpuConfig,
+    config: &MegsimConfig,
+    stream: &StreamClusterConfig,
+) -> StreamSelection {
+    let render_config = RenderConfig {
+        viewport: gpu_config.viewport,
+        mode: gpu_config.render_mode,
+    };
+    let renderer = Renderer::new(render_config);
+    let config_fp = frame_cache::activity_config_fingerprint(&render_config, shaders);
+    let dim = shaders.vertex_count() + shaders.fragment_count() + 1;
+    let clusterer = StreamClusterer::new(dim, stream.to_stream_config(&config.search));
+    let characterization = config.characterization;
+    struct Fold {
+        clusterer: StreamClusterer,
+        mass: RunningGroupMass,
+        scales: Vec<f64>,
+    }
+    let fold = megsim_exec::iter_fold(
+        frames,
+        STREAM_PIPELINE_DEPTH,
+        // Map stage: render + characterize, pure per frame (cache hits
+        // are content-addressed, so results are order-independent).
+        |_, f: Frame| {
+            let activity = frame_cache::activity_or_else(config_fp, &f, || {
+                renderer.frame_activity(&f, shaders)
+            });
+            let mut row = Vec::with_capacity(dim);
+            characterize_frame_into(&activity, shaders, &characterization, &mut row);
+            row
+        },
+        Fold {
+            clusterer,
+            mass: RunningGroupMass::new(shaders.vertex_count(), shaders.fragment_count()),
+            scales: Vec::new(),
+        },
+        // Fold stage: strict arrival order on the caller thread — the
+        // exact FP fold of the batch normalization pass.
+        |state, _, row| {
+            state.mass.add_row(&row);
+            state
+                .mass
+                .column_scales_into(&config.weights, &mut state.scales);
+            state.clusterer.set_scales(&state.scales);
+            state.clusterer.push(&row);
+        },
+    );
+    finish_stream(fold.clusterer)
 }
 
 /// Full cycle-level simulation of a sequence (the paper's ground truth),
@@ -292,6 +372,59 @@ mod tests {
         // counts are small and cache-state dependent, so the memory
         // metrics carry more noise than the full-scale Fig. 7 runs.
         assert!(run.errors.max() < 0.30, "max error = {:?}", run.errors);
+    }
+
+    #[test]
+    fn single_pass_exact_stream_matches_the_two_pass_pipeline() {
+        let info = &BENCHMARKS[5]; // jjo
+        let workload = build(info, 0.02, 8); // 100 frames
+        let gpu_config = GpuConfig::small(192, 192);
+        let megsim = MegsimConfig::default().with_seed(13);
+        let matrix = characterize_sequence(
+            workload.iter_frames(),
+            workload.shaders(),
+            &gpu_config,
+            &megsim,
+        );
+        let batch = select_representatives(&matrix, &megsim);
+        let streamed = characterize_stream(
+            workload.iter_frames(),
+            workload.shaders(),
+            &gpu_config,
+            &megsim,
+            &StreamClusterConfig::exact(),
+        );
+        assert_eq!(streamed.selection, batch);
+    }
+
+    #[test]
+    fn single_pass_bounded_stream_is_fenced_and_sane() {
+        let info = &BENCHMARKS[5]; // jjo
+        let workload = build(info, 0.02, 8); // 100 frames
+        let gpu_config = GpuConfig::small(192, 192);
+        let megsim = MegsimConfig::default().with_seed(13);
+        let streamed = characterize_stream(
+            workload.iter_frames(),
+            workload.shaders(),
+            &gpu_config,
+            &megsim,
+            &StreamClusterConfig::default()
+                .with_reservoir_capacity(40)
+                .with_batch_size(20),
+        );
+        assert!(
+            streamed.peak_rows_retained <= 40 + 20,
+            "peak = {}",
+            streamed.peak_rows_retained
+        );
+        assert_eq!(streamed.selection.labels.len(), workload.frames());
+        let total: usize = streamed
+            .selection
+            .representatives
+            .iter()
+            .map(|r| r.cluster_size)
+            .sum();
+        assert_eq!(total, workload.frames());
     }
 
     #[test]

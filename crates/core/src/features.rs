@@ -109,6 +109,26 @@ pub fn characterize_frame(
     shaders: &ShaderTable,
     config: &CharacterizationConfig,
 ) -> Vec<f64> {
+    let mut row = Vec::with_capacity(shaders.vertex_count() + shaders.fragment_count() + 1);
+    characterize_frame_into(activity, shaders, config, &mut row);
+    row
+}
+
+/// Buffer-reusing variant of [`characterize_frame`]: clears `row` and
+/// fills it with the frame's vector of characteristics. The streaming
+/// pipeline characterizes unboundedly many frames through one buffer,
+/// so its steady state allocates nothing per frame.
+///
+/// # Panics
+///
+/// Panics if the activity's shader-count vectors disagree with the
+/// shader table.
+pub fn characterize_frame_into(
+    activity: &FrameActivity,
+    shaders: &ShaderTable,
+    config: &CharacterizationConfig,
+    row: &mut Vec<f64>,
+) {
     assert_eq!(
         activity.vertex_shader_invocations.len(),
         shaders.vertex_count(),
@@ -119,7 +139,7 @@ pub fn characterize_frame(
         shaders.fragment_count(),
         "activity/shader-table mismatch (fragment)"
     );
-    let mut row = Vec::with_capacity(shaders.vertex_count() + shaders.fragment_count() + 1);
+    row.clear();
     for (shader, &count) in shaders
         .vertex_shaders()
         .zip(&activity.vertex_shader_invocations)
@@ -143,7 +163,6 @@ pub fn characterize_frame(
         row.push(count as f64 * weight as f64);
     }
     row.push(activity.primitives_emitted as f64);
-    row
 }
 
 /// Builds the `N × D` feature matrix from a sequence of per-frame
@@ -203,6 +222,16 @@ mod tests {
         };
         let row = characterize_frame(&activity(), &shaders(), &cfg);
         assert_eq!(row[2], 100.0 * 6.0); // 5 ALU + 1 texture instruction
+    }
+
+    #[test]
+    fn into_variant_reuses_the_buffer_and_matches() {
+        let expected = characterize_frame(&activity(), &shaders(), &Default::default());
+        let mut row = vec![99.0; 17]; // stale content must be cleared
+        characterize_frame_into(&activity(), &shaders(), &Default::default(), &mut row);
+        assert_eq!(row, expected);
+        characterize_frame_into(&activity(), &shaders(), &Default::default(), &mut row);
+        assert_eq!(row, expected);
     }
 
     #[test]

@@ -55,10 +55,16 @@ pub mod similarity;
 pub use batch::{parse_manifest, run_batch, BatchJob, BatchOp, BatchReport, CampaignReport};
 pub use estimate::{estimate_totals, metric_errors, sequence_totals, MetricErrors};
 pub use evaluate::{
-    characterize_sequence, evaluate_megsim, simulate_representatives, simulate_sequence,
-    simulate_sequence_warm, simulate_sequence_warm_sequential, MegsimRun,
+    characterize_sequence, characterize_stream, evaluate_megsim, simulate_representatives,
+    simulate_sequence, simulate_sequence_warm, simulate_sequence_warm_sequential, MegsimRun,
 };
-pub use features::{characterize_frame, feature_matrix, CharacterizationConfig, FeatureMatrix};
-pub use normalize::{normalize, GroupWeights};
-pub use pipeline::{select_representatives, MegsimConfig, Representative, Selection};
+pub use features::{
+    characterize_frame, characterize_frame_into, feature_matrix, CharacterizationConfig,
+    FeatureMatrix,
+};
+pub use normalize::{normalize, GroupWeights, RunningGroupMass};
+pub use pipeline::{
+    select_representatives, select_representatives_stream, MegsimConfig, Representative, Selection,
+    StreamClusterConfig, StreamSelection,
+};
 pub use similarity::SimilarityMatrix;

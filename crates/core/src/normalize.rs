@@ -109,6 +109,87 @@ pub fn normalize(matrix: &FeatureMatrix, weights: &GroupWeights) -> PointMatrix 
     PointMatrix::from_flat(flat, d)
 }
 
+/// Incremental group-mass accumulator for the single-pass streaming
+/// pipeline: feed rows with [`RunningGroupMass::add_row`] in arrival
+/// order and read off per-column scales at any point.
+///
+/// The accumulation is the **exact floating-point fold** of
+/// [`normalize`] — row by row, column within row — so after the last
+/// row the masses, and therefore the scales, are bitwise what the batch
+/// pass computes. That identity is what makes the exact-reservoir
+/// streaming mode reproduce `select_representatives` bit for bit.
+#[derive(Debug, Clone)]
+pub struct RunningGroupMass {
+    p: usize,
+    q: usize,
+    mass: [f64; 3],
+}
+
+impl RunningGroupMass {
+    /// A zeroed accumulator for rows with `vscv_len` geometry columns
+    /// and `fscv_len` raster columns (plus the trailing PRIM column).
+    pub fn new(vscv_len: usize, fscv_len: usize) -> Self {
+        Self {
+            p: vscv_len,
+            q: fscv_len,
+            mass: [0.0; 3],
+        }
+    }
+
+    /// Row dimensionality `p + q + 1`.
+    pub fn dim(&self) -> usize {
+        self.p + self.q + 1
+    }
+
+    /// Accumulates one raw feature row (same column-ascending add
+    /// sequence as the batch mass pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row.len() != dim()`.
+    pub fn add_row(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.dim(), "row length != feature dim");
+        for (c, &v) in row.iter().enumerate() {
+            self.mass[group_of(c, self.p, self.q)] += v;
+        }
+    }
+
+    /// Writes the current per-column scale vector into `out` (cleared
+    /// first; reuse the buffer across rows to stay allocation-free).
+    /// Column `c`'s scale is its group's `weight / mass` — the exact
+    /// value [`normalize`] multiplies by — or `0` for a zero-mass
+    /// group.
+    pub fn column_scales_into(&self, weights: &GroupWeights, out: &mut Vec<f64>) {
+        let scale = [
+            if self.mass[0] > 0.0 {
+                weights.geometry / self.mass[0]
+            } else {
+                0.0
+            },
+            if self.mass[1] > 0.0 {
+                weights.raster / self.mass[1]
+            } else {
+                0.0
+            },
+            if self.mass[2] > 0.0 {
+                weights.tiling / self.mass[2]
+            } else {
+                0.0
+            },
+        ];
+        out.clear();
+        out.extend((0..self.dim()).map(|c| scale[group_of(c, self.p, self.q)]));
+    }
+
+    /// Allocating convenience wrapper over
+    /// [`RunningGroupMass::column_scales_into`].
+    pub fn column_scales(&self, weights: &GroupWeights) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.column_scales_into(weights, &mut out);
+        out
+    }
+}
+
 #[inline]
 fn group_of(column: usize, p: usize, q: usize) -> usize {
     if column < p {
@@ -166,6 +247,54 @@ mod tests {
         let norm = normalize(&m, &GroupWeights::paper());
         assert!(norm.as_slice().iter().all(|v| v.is_finite()));
         assert_eq!(norm.row(0)[0], 0.0);
+    }
+
+    #[test]
+    fn running_mass_reproduces_batch_normalization_bitwise() {
+        // Awkward magnitudes so any fold-order difference shows in the
+        // low bits.
+        let m = FeatureMatrix::from_rows(
+            (0..37)
+                .map(|i| {
+                    (0..5)
+                        .map(|c| ((i * 7 + c * 13) as f64).sin().abs() * 10f64.powi((c % 3) as i32))
+                        .collect()
+                })
+                .collect(),
+            2,
+            2,
+        );
+        for weights in [
+            GroupWeights::paper(),
+            GroupWeights::uniform(),
+            GroupWeights::shader_only(),
+        ] {
+            let batch = normalize(&m, &weights);
+            let mut running = RunningGroupMass::new(2, 2);
+            for row in m.rows.iter_rows() {
+                running.add_row(row);
+            }
+            let scales = running.column_scales(&weights);
+            for (i, row) in m.rows.iter_rows().enumerate() {
+                for (c, &v) in row.iter().enumerate() {
+                    assert_eq!(
+                        (v * scales[c]).to_bits(),
+                        batch.row(i)[c].to_bits(),
+                        "row {i} col {c}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn running_mass_handles_zero_mass_groups() {
+        let mut running = RunningGroupMass::new(1, 1);
+        running.add_row(&[0.0, 0.0, 2.0]);
+        let scales = running.column_scales(&GroupWeights::paper());
+        assert_eq!(scales[0], 0.0);
+        assert_eq!(scales[1], 0.0);
+        assert!(scales[2].is_finite() && scales[2] > 0.0);
     }
 
     #[test]

@@ -3,10 +3,10 @@
 
 use serde::{Deserialize, Serialize};
 
-use megsim_cluster::{search_clusters, SearchConfig};
+use megsim_cluster::{search_clusters, SearchConfig, StreamClusterer, StreamConfig};
 
 use crate::features::{CharacterizationConfig, FeatureMatrix};
-use crate::normalize::{normalize, GroupWeights};
+use crate::normalize::{normalize, GroupWeights, RunningGroupMass};
 
 /// Full configuration of the MEGsim methodology.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -66,6 +66,138 @@ impl Selection {
     /// simulated frames.
     pub fn reduction_factor(&self) -> f64 {
         self.labels.len() as f64 / self.k() as f64
+    }
+}
+
+/// Memory knobs of the streaming selection path (the §III-E/F search
+/// itself comes from [`MegsimConfig::search`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StreamClusterConfig {
+    /// Raw feature rows retained in the reservoir; `0` = unbounded
+    /// (the exact mode, bitwise [`select_representatives`]).
+    pub reservoir_capacity: usize,
+    /// Rows per mini-batch micro-centroid update.
+    pub batch_size: usize,
+    /// Micro-centroids sketching evicted frames.
+    pub micro_clusters: usize,
+    /// Mini-batches between online BIC probes (`0` disables probing).
+    pub probe_interval: usize,
+}
+
+impl Default for StreamClusterConfig {
+    fn default() -> Self {
+        let d = StreamConfig::default();
+        Self {
+            reservoir_capacity: d.reservoir_capacity,
+            batch_size: d.batch_size,
+            micro_clusters: d.micro_clusters,
+            probe_interval: d.probe_interval,
+        }
+    }
+}
+
+impl StreamClusterConfig {
+    /// The exact (unbounded-reservoir) mode — the bit-identity oracle.
+    pub fn exact() -> Self {
+        Self {
+            reservoir_capacity: 0,
+            ..Self::default()
+        }
+    }
+
+    /// Sets the reservoir capacity (builder style; `0` = unbounded).
+    pub fn with_reservoir_capacity(mut self, capacity: usize) -> Self {
+        self.reservoir_capacity = capacity;
+        self
+    }
+
+    /// Sets the mini-batch size (builder style).
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        assert!(batch_size >= 1, "batch_size must be at least 1");
+        self.batch_size = batch_size;
+        self
+    }
+
+    /// The cluster-crate configuration with the search options filled
+    /// in from `search`.
+    pub(crate) fn to_stream_config(self, search: &SearchConfig) -> StreamConfig {
+        StreamConfig::default()
+            .with_reservoir_capacity(self.reservoir_capacity)
+            .with_batch_size(self.batch_size)
+            .with_micro_clusters(self.micro_clusters)
+            .with_probe_interval(self.probe_interval)
+            .with_search(*search)
+    }
+}
+
+/// Output of the streaming selection path: the batch-shaped
+/// [`Selection`] plus streaming diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamSelection {
+    /// The selection, same shape as the batch path's.
+    pub selection: Selection,
+    /// Rows retained in the reservoir at finish time.
+    pub reservoir_len: usize,
+    /// High-water mark of raw feature rows retained at any instant —
+    /// the bounded-memory fence (reservoir + one mini-batch window).
+    pub peak_rows_retained: usize,
+    /// The online probe's final candidate `k` (diagnostic).
+    pub live_k: usize,
+}
+
+/// Streaming counterpart of [`select_representatives`]: one pass over
+/// the rows, feeding the running §III-C group masses and the online
+/// clusterer together, with peak memory bounded by the reservoir plus
+/// one mini-batch (never the full matrix — this entry point takes one
+/// only for API symmetry and the oracle tests; the truly single-pass
+/// producer is `characterize_stream`).
+///
+/// With an unbounded reservoir the output selection is **bitwise**
+/// [`select_representatives`]: the running masses reproduce the batch
+/// normalization fold exactly, the reservoir holds every row in
+/// arrival order, and the finishing pass is the same §III-F search.
+///
+/// # Panics
+///
+/// Panics if the matrix is empty.
+pub fn select_representatives_stream(
+    matrix: &FeatureMatrix,
+    config: &MegsimConfig,
+    stream: &StreamClusterConfig,
+) -> StreamSelection {
+    assert!(matrix.frames() > 0, "cannot select from zero frames");
+    let mut clusterer = StreamClusterer::new(matrix.dim(), stream.to_stream_config(&config.search));
+    let mut mass = RunningGroupMass::new(matrix.vscv_len, matrix.fscv_len);
+    let mut scales = Vec::new();
+    for row in matrix.rows.iter_rows() {
+        mass.add_row(row);
+        mass.column_scales_into(&config.weights, &mut scales);
+        clusterer.set_scales(&scales);
+        clusterer.push(row);
+    }
+    finish_stream(clusterer)
+}
+
+/// Converts a finished [`StreamClusterer`] into a [`StreamSelection`].
+pub(crate) fn finish_stream(clusterer: StreamClusterer) -> StreamSelection {
+    let outcome = clusterer.finish();
+    let representatives = outcome
+        .representatives
+        .into_iter()
+        .map(|(frame_index, cluster_size)| Representative {
+            frame_index,
+            cluster_size,
+        })
+        .collect();
+    StreamSelection {
+        selection: Selection {
+            representatives,
+            labels: outcome.labels,
+            bic_scores: outcome.bic_scores,
+        },
+        reservoir_len: outcome.reservoir_len,
+        peak_rows_retained: outcome.peak_rows_retained,
+        live_k: outcome.live_k,
     }
 }
 
@@ -197,6 +329,66 @@ mod tests {
             (selected - 3048.1742055005957).abs() < 1e-9,
             "selected BIC drifted: {selected}"
         );
+    }
+
+    #[test]
+    fn exact_streaming_selection_is_bitwise_the_batch_selection() {
+        let m = two_phase_matrix();
+        for config in [
+            MegsimConfig::default().with_seed(42),
+            MegsimConfig::paper().with_seed(42),
+        ] {
+            let batch = select_representatives(&m, &config);
+            let streamed = select_representatives_stream(
+                &m,
+                &config,
+                &StreamClusterConfig::exact().with_batch_size(16),
+            );
+            assert_eq!(streamed.selection, batch);
+            assert_eq!(streamed.reservoir_len, 60);
+        }
+    }
+
+    #[test]
+    fn exact_streaming_matches_batch_across_thread_counts() {
+        let m = two_phase_matrix();
+        let config = MegsimConfig::default().with_seed(42);
+        let batch = select_representatives(&m, &config);
+        for threads in [1usize, 2, 8] {
+            megsim_exec::set_threads(threads);
+            let streamed =
+                select_representatives_stream(&m, &config, &StreamClusterConfig::exact());
+            assert_eq!(streamed.selection, batch, "threads = {threads}");
+        }
+        megsim_exec::set_threads(0);
+    }
+
+    #[test]
+    fn bounded_streaming_keeps_the_phases_apart() {
+        let m = two_phase_matrix();
+        let config = MegsimConfig::default().with_seed(42);
+        let streamed = select_representatives_stream(
+            &m,
+            &config,
+            &StreamClusterConfig::default()
+                .with_reservoir_capacity(30)
+                .with_batch_size(10),
+        );
+        let sel = &streamed.selection;
+        assert!(streamed.peak_rows_retained <= 30 + 10);
+        assert_eq!(sel.labels.len(), 60);
+        let total: usize = sel.representatives.iter().map(|r| r.cluster_size).sum();
+        assert_eq!(total, 60);
+        assert!(sel.k() >= 2, "k = {}", sel.k());
+        // No cluster may mix the two far-apart phases, even with half
+        // the frames labeled through the micro-centroid sketch.
+        for c in 0..sel.k() {
+            let members: Vec<usize> = (0..60).filter(|&i| sel.labels[i] == c).collect();
+            assert!(
+                members.iter().all(|m| m % 2 == members[0] % 2),
+                "cluster {c} mixes phases: {members:?}"
+            );
+        }
     }
 
     #[test]

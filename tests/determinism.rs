@@ -200,6 +200,47 @@ fn streamed_replay_is_bit_identical_to_materialized() {
     }
 }
 
+/// The fused single-pass characterize+cluster path in its exact mode
+/// (unbounded reservoir) is bit-identical to the two-pass pipeline —
+/// same labels, representatives and BIC curve — at every worker-pool
+/// size. This is the streaming path's oracle, pinned in the CI
+/// determinism matrix.
+#[test]
+fn exact_streaming_selection_is_bit_identical_to_batch() {
+    use megsim_core::evaluate::characterize_stream;
+    use megsim_core::pipeline::{select_representatives, StreamClusterConfig};
+
+    let workload = by_alias("pvz", 0.02, 42).expect("known alias"); // 100 frames
+    let gpu = GpuConfig::mali450_like();
+    let config = MegsimConfig::default();
+    let stream = StreamClusterConfig::exact();
+
+    megsim_exec::set_threads(1);
+    let matrix = characterize_sequence(workload.iter_frames(), workload.shaders(), &gpu, &config);
+    let batch = select_representatives(&matrix, &config);
+
+    for threads in [1usize, 2, 8] {
+        megsim_exec::set_threads(threads);
+        let streamed = characterize_stream(
+            workload.iter_frames(),
+            workload.shaders(),
+            &gpu,
+            &config,
+            &stream,
+        );
+        assert_eq!(
+            streamed.selection, batch,
+            "exact streaming selection differs at {threads} threads"
+        );
+        assert_eq!(
+            streamed.reservoir_len,
+            matrix.frames(),
+            "exact mode must retain every frame"
+        );
+    }
+    megsim_exec::set_threads(0);
+}
+
 #[test]
 fn pipeline_is_bit_identical_at_any_thread_count() {
     let mut runs = Vec::new();
