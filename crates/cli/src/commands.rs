@@ -14,7 +14,7 @@ use megsim_gl::{
     encode_with_version, record_sequence, Command, FrameIter, StreamDecoder, TraceError,
     FORMAT_VERSION,
 };
-use megsim_timing::GpuConfig;
+use megsim_timing::{DispatchMode, GpuConfig, MultiGpuConfig, Topology};
 
 const USAGE: &str = "\
 usage: megsim <command> [options]
@@ -33,10 +33,17 @@ commands:
                cluster the frames and print the representative plan
                (paper §III-E/F)
   estimate     <trace.mglt> [--seed N] [--ground-truth] [--stream-cluster]
+               [--gpus N] [--dispatch {afr|sfr}] [--mem {shared|private}]
                run MEGsim end-to-end on the trace: simulate only the
                representatives and report estimated totals; with
                --ground-truth also run the full simulation and report
-               the Fig. 7 relative errors
+               the Fig. 7 relative errors. --gpus simulates an N-GPU
+               rig (default 1): --dispatch picks alternate-frame (afr,
+               frame i on GPU i mod N) or split-frame (sfr, tile bands
+               per GPU) work distribution and --mem picks one shared
+               contended L2+DRAM back end or a private hierarchy per
+               GPU; the accuracy table is then reported per
+               (N, dispatch, mem) against the multi-GPU ground truth
   batch        <manifest>
                run a manifest of campaigns concurrently on one worker
                pool and one shared frame cache; each line reads
@@ -457,10 +464,49 @@ fn select(opts: &mut Options) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the multi-GPU scenario flags (`--gpus`, `--dispatch`,
+/// `--mem`). Returns `None` when none were given, keeping the default
+/// `estimate` on the single-GPU path (and its frame cache).
+fn multi_gpu_options(opts: &Options) -> Result<Option<MultiGpuConfig>, String> {
+    let explicit = ["gpus", "dispatch", "mem"]
+        .iter()
+        .any(|f| opts.flags.contains_key(*f));
+    let gpus: usize = opts.flag("gpus", 1)?;
+    if gpus == 0 {
+        return Err("--gpus must be at least 1".into());
+    }
+    let dispatch = match opts.flags.get("dispatch").map(String::as_str) {
+        None | Some("afr") => DispatchMode::AlternateFrame,
+        Some("sfr") => DispatchMode::SplitFrame,
+        Some(other) => return Err(format!("invalid --dispatch: {other} (afr or sfr)")),
+    };
+    let topology = match opts.flags.get("mem").map(String::as_str) {
+        None | Some("private") => Topology::Private,
+        Some("shared") => Topology::Shared,
+        Some(other) => return Err(format!("invalid --mem: {other} (shared or private)")),
+    };
+    Ok(explicit.then(|| MultiGpuConfig::new(gpus, dispatch, topology)))
+}
+
+fn dispatch_name(dispatch: DispatchMode) -> &'static str {
+    match dispatch {
+        DispatchMode::AlternateFrame => "afr",
+        DispatchMode::SplitFrame => "sfr",
+    }
+}
+
+fn topology_name(topology: Topology) -> &'static str {
+    match topology {
+        Topology::Shared => "shared",
+        Topology::Private => "private",
+    }
+}
+
 fn estimate(opts: &mut Options) -> Result<(), String> {
     let path = opts.trace_path()?;
     let seed: u64 = opts.flag("seed", 42)?;
     let ground_truth = opts.has("ground-truth");
+    let multi = multi_gpu_options(opts)?;
     let gpu = GpuConfig::mali450_like();
     let config = MegsimConfig::default().with_seed(seed);
     // The fused single-pass path never materializes the feature
@@ -490,12 +536,32 @@ fn estimate(opts: &mut Options) -> Result<(), String> {
         .map(|r| r.frame_index)
         .collect();
     let reps = collect_frames_by_index(&path, &wanted)?;
-    // Simulate only the representatives, scale by cluster sizes.
-    let rep_stats =
-        megsim_core::simulate_representatives(|i| reps[&i].clone(), &selection, &shaders, &gpu);
+    // Simulate only the representatives, scale by cluster sizes. A
+    // multi-GPU scenario dispatches each representative through a fresh
+    // N-GPU rig instead of a fresh single GPU.
+    let rep_stats = match multi {
+        Some(m) => megsim_core::simulate_representatives_multi(
+            |i| reps[&i].clone(),
+            &selection,
+            &shaders,
+            &gpu,
+            m,
+        ),
+        None => {
+            megsim_core::simulate_representatives(|i| reps[&i].clone(), &selection, &shaders, &gpu)
+        }
+    };
     let mut estimated = megsim_timing::FrameStats::default();
     for (stats, rep) in rep_stats.iter().zip(&selection.representatives) {
         estimated.merge(&stats.scaled(rep.cluster_size as u64));
+    }
+    if let Some(m) = multi {
+        println!(
+            "multi-GPU rig: {} GPUs, {} dispatch, {} memory",
+            m.gpus,
+            dispatch_name(m.dispatch),
+            topology_name(m.topology)
+        );
     }
     println!(
         "simulated {} of {} frames ({:.1}x fewer)",
@@ -514,6 +580,33 @@ fn estimate(opts: &mut Options) -> Result<(), String> {
         // Third streaming pass: the full simulation also replays off
         // the file handle, overlapping decode with render and timing.
         let mut frames = StreamedFrames::open(&path)?;
+        if let Some(m) = multi {
+            // Multi-GPU ground truth: the warm N-GPU rig sequence.
+            let (per_frame, report) =
+                megsim_core::simulate_sequence_multi(&mut frames, &shaders, &gpu, m);
+            frames.finish(&path)?;
+            let actual = sequence_totals(&per_frame);
+            let errors = metric_errors(&estimated, &actual);
+            println!(
+                "interconnect: {} line transfers, {} bytes, {} busy cycles",
+                report.transfers(),
+                report.bytes(),
+                report.busy_cycles()
+            );
+            println!("relative errors vs full multi-GPU simulation:");
+            println!("  N  dispatch  mem      cycles     DRAM       L2         tile");
+            println!(
+                "  {:<2} {:<9} {:<8} {:>8.3}% {:>8.3}% {:>8.3}% {:>8.3}%",
+                m.gpus,
+                dispatch_name(m.dispatch),
+                topology_name(m.topology),
+                errors.cycles * 100.0,
+                errors.dram_accesses * 100.0,
+                errors.l2_accesses * 100.0,
+                errors.tile_cache_accesses * 100.0
+            );
+            return Ok(());
+        }
         let per_frame = simulate_sequence(&mut frames, &shaders, &gpu);
         frames.finish(&path)?;
         let errors = match &matrix {
@@ -783,6 +876,53 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(err.contains("stream-batch"), "{err}");
+    }
+
+    #[test]
+    fn estimate_runs_a_multi_gpu_scenario_end_to_end() {
+        let trace = tmp("multi_gpu.mglt");
+        run(&argv(&[
+            "record",
+            "--benchmark",
+            "jjo",
+            "--scale",
+            "0.01",
+            "--seed",
+            "6",
+            "--out",
+            &trace,
+        ]))
+        .expect("record");
+        for (dispatch, mem) in [("afr", "shared"), ("sfr", "private")] {
+            run(&argv(&[
+                "estimate",
+                &trace,
+                "--gpus",
+                "2",
+                "--dispatch",
+                dispatch,
+                "--mem",
+                mem,
+                "--ground-truth",
+            ]))
+            .unwrap_or_else(|e| panic!("estimate --dispatch {dispatch} --mem {mem}: {e}"));
+        }
+    }
+
+    #[test]
+    fn estimate_rejects_bad_multi_gpu_flags() {
+        let err = run(&argv(&["estimate", "/nonexistent/x.mglt", "--gpus", "0"])).unwrap_err();
+        assert!(err.contains("gpus"), "{err}");
+        let err = run(&argv(&[
+            "estimate",
+            "/nonexistent/x.mglt",
+            "--dispatch",
+            "checkerboard",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("dispatch"), "{err}");
+        let err = run(&argv(&["estimate", "/nonexistent/x.mglt", "--mem", "numa"])).unwrap_err();
+        assert!(err.contains("mem"), "{err}");
     }
 
     #[test]

@@ -27,7 +27,7 @@
 use megsim_funcsim::{RenderConfig, Renderer};
 use megsim_gfx::draw::Frame;
 use megsim_gfx::shader::ShaderTable;
-use megsim_timing::{FrameStats, Gpu, GpuConfig};
+use megsim_timing::{FrameStats, Gpu, GpuConfig, MultiGpu, MultiGpuConfig, MultiGpuReport};
 
 use megsim_cluster::StreamClusterer;
 
@@ -261,6 +261,74 @@ fn drain_idle_l2(gpu: &mut Gpu, stats: &mut [FrameStats]) {
     }
 }
 
+/// Warm-state cycle-level simulation of a sequence on an N-GPU rig
+/// ([`MultiGpu`]): frames are dispatched whole (alternate-frame) or as
+/// tile bands (split-frame) across `multi.gpus` instances over a shared
+/// or private memory topology, with interconnect transfers to the
+/// display GPU modeled per link.
+///
+/// Rendering overlaps timing through the same bounded ordered pipeline
+/// as [`simulate_sequence_warm`]; the rig consumes traces strictly in
+/// frame order on the caller thread, so results are bit-identical at
+/// every thread count — and a single-GPU rig is bit-identical to
+/// [`simulate_sequence_warm`] itself. At the end of the sequence every
+/// back end's L2 drains onto the last frame's counters, and the rig's
+/// cumulative [`MultiGpuReport`] (frames per GPU, link traffic) is
+/// returned alongside the per-frame statistics.
+pub fn simulate_sequence_multi(
+    frames: impl Iterator<Item = Frame> + Send,
+    shaders: &ShaderTable,
+    gpu_config: &GpuConfig,
+    multi: MultiGpuConfig,
+) -> (Vec<FrameStats>, MultiGpuReport) {
+    let renderer = Renderer::new(RenderConfig {
+        viewport: gpu_config.viewport,
+        mode: gpu_config.render_mode,
+    });
+    let mut rig = MultiGpu::new(gpu_config.clone(), multi);
+    let mut stats = Vec::new();
+    megsim_exec::iter_pipeline(
+        frames,
+        WARM_PIPELINE_DEPTH,
+        |_, f: Frame| renderer.render_frame(&f, shaders),
+        |_, trace| stats.push(rig.simulate_frame(&trace, shaders)),
+    );
+    let writebacks = rig.drain_l2();
+    if let Some(last) = stats.last_mut() {
+        last.memory.l2.writebacks += writebacks;
+    }
+    (stats, rig.report())
+}
+
+/// Simulates only the selected representative frames on *fresh* N-GPU
+/// rigs — the MEGsim deployment story on a multi-GPU scenario: each
+/// representative frame is dispatched through the rig exactly as frame
+/// 0 of a sequence would be, and its statistics are scaled by cluster
+/// size to estimate the full-sequence totals.
+///
+/// Unlike [`simulate_representatives`], results are **not** routed
+/// through the content-addressed frame cache: the cache key fingerprints
+/// only the GPU configuration, not the rig shape, and a cached
+/// single-GPU result must never be returned for a split-frame rig (or
+/// vice versa).
+pub fn simulate_representatives_multi(
+    frame_of: impl Fn(usize) -> Frame + Sync,
+    selection: &Selection,
+    shaders: &ShaderTable,
+    gpu_config: &GpuConfig,
+    multi: MultiGpuConfig,
+) -> Vec<FrameStats> {
+    let renderer = Renderer::new(RenderConfig {
+        viewport: gpu_config.viewport,
+        mode: gpu_config.render_mode,
+    });
+    megsim_exec::par_map_indexed(&selection.representatives, |_, rep| {
+        let trace = renderer.render_frame(&frame_of(rep.frame_index), shaders);
+        let mut rig = MultiGpu::new(gpu_config.clone(), multi);
+        rig.simulate_frame(&trace, shaders)
+    })
+}
+
 /// Simulates only the selected representative frames, each on a *fresh*
 /// GPU — what a real MEGsim deployment runs instead of the full
 /// sequence. Representatives are independent, so they fan out on the
@@ -372,6 +440,74 @@ mod tests {
         // counts are small and cache-state dependent, so the memory
         // metrics carry more noise than the full-scale Fig. 7 runs.
         assert!(run.errors.max() < 0.30, "max error = {:?}", run.errors);
+    }
+
+    #[test]
+    fn single_gpu_rig_sequence_is_the_warm_ground_truth() {
+        use megsim_timing::{DispatchMode, MultiGpuConfig, Topology};
+        let info = &BENCHMARKS[5]; // jjo
+        let workload = build(info, 0.01, 4); // 50 frames
+        let gpu_config = GpuConfig::small(192, 192);
+        let warm = simulate_sequence_warm(workload.iter_frames(), workload.shaders(), &gpu_config);
+        for dispatch in [DispatchMode::AlternateFrame, DispatchMode::SplitFrame] {
+            for topology in [Topology::Shared, Topology::Private] {
+                let (stats, report) = simulate_sequence_multi(
+                    workload.iter_frames(),
+                    workload.shaders(),
+                    &gpu_config,
+                    MultiGpuConfig::new(1, dispatch, topology),
+                );
+                assert_eq!(stats, warm, "{dispatch:?} {topology:?} N=1");
+                assert_eq!(report.transfers(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn multi_gpu_representative_estimate_tracks_the_rig_ground_truth() {
+        use megsim_timing::{DispatchMode, MultiGpuConfig, Topology};
+        let info = &BENCHMARKS[5]; // jjo
+        let workload = build(info, 0.02, 8); // 100 frames
+        let gpu_config = GpuConfig::small(192, 192);
+        let megsim = MegsimConfig::default().with_seed(3);
+        let matrix = characterize_sequence(
+            workload.iter_frames(),
+            workload.shaders(),
+            &gpu_config,
+            &megsim,
+        );
+        let selection = select_representatives(&matrix, &megsim);
+        let multi = MultiGpuConfig::new(2, DispatchMode::SplitFrame, Topology::Shared);
+        let (per_frame, report) = simulate_sequence_multi(
+            workload.iter_frames(),
+            workload.shaders(),
+            &gpu_config,
+            multi,
+        );
+        assert!(report.transfers() > 0, "worker band pixels must cross");
+        let rep_stats = simulate_representatives_multi(
+            |i| workload.frame(i),
+            &selection,
+            workload.shaders(),
+            &gpu_config,
+            multi,
+        );
+        let estimated = {
+            let mut est = FrameStats::default();
+            for (stats, rep) in rep_stats.iter().zip(&selection.representatives) {
+                est.merge(&stats.scaled(rep.cluster_size as u64));
+            }
+            est
+        };
+        let actual = sequence_totals(&per_frame);
+        let errors = metric_errors(&estimated, &actual);
+        // Cold representative rigs vs a warm, shared-topology striped
+        // sequence: the reps miss both cache warm-up and cross-GPU
+        // contention, so the error is far looser than the single-GPU
+        // bound — the PR 10 accuracy table quantifies this gap per
+        // topology. The assertion only fences the regime.
+        assert!(errors.cycles < 0.6, "cycles error = {}", errors.cycles);
+        assert!(estimated.cycles > 0 && actual.cycles > 0);
     }
 
     #[test]

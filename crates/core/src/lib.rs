@@ -56,7 +56,8 @@ pub use batch::{parse_manifest, run_batch, BatchJob, BatchOp, BatchReport, Campa
 pub use estimate::{estimate_totals, metric_errors, sequence_totals, MetricErrors};
 pub use evaluate::{
     characterize_sequence, characterize_stream, evaluate_megsim, simulate_representatives,
-    simulate_sequence, simulate_sequence_warm, simulate_sequence_warm_sequential, MegsimRun,
+    simulate_representatives_multi, simulate_sequence, simulate_sequence_multi,
+    simulate_sequence_warm, simulate_sequence_warm_sequential, MegsimRun,
 };
 pub use features::{
     characterize_frame, characterize_frame_into, feature_matrix, CharacterizationConfig,

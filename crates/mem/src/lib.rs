@@ -29,7 +29,9 @@ pub mod dram;
 pub mod hierarchy;
 #[cfg(any(test, feature = "reference"))]
 pub mod hierarchy_reference;
+pub mod interconnect;
 pub mod runlog;
+pub mod topology;
 
 pub use addr::AddressSpace;
 pub use cache::{Cache, CacheAccess, CacheConfig, CacheStats};
@@ -39,4 +41,6 @@ pub use dram::{Dram, DramAccess, DramConfig, DramStats};
 pub use hierarchy::{HierarchyAccess, MemoryHierarchy, MemoryStats};
 #[cfg(any(test, feature = "reference"))]
 pub use hierarchy_reference::{ReferenceDram, ReferenceMemoryHierarchy};
+pub use interconnect::{Link, LinkConfig, LinkStats, LinkTransfer};
 pub use runlog::RunCoalescer;
+pub use topology::{MemoryPool, Topology};

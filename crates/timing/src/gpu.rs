@@ -75,7 +75,7 @@ pub enum ShardMode {
 /// clocks are zeroed per tile, sample addresses and per-primitive
 /// samplers are cleared in place.
 #[derive(Debug, Default)]
-struct TimingScratch {
+pub(crate) struct TimingScratch {
     /// Per-FP ALU clocks (one slot per Fragment Processor).
     fp_clock: Vec<u64>,
     /// Per-FP texture-pipe clocks.
@@ -87,18 +87,22 @@ struct TimingScratch {
 
 /// The simulated GPU. Caches and DRAM state persist across frames
 /// (warm-cache simulation), while statistics are attributed per frame.
+/// The field visibility is `pub(crate)` rather than private: the
+/// multi-GPU rig ([`crate::multi_gpu`]) drives the per-GPU front end
+/// (L1 caches, clocks) directly while routing the L2 + DRAM stream
+/// through a [`megsim_mem::MemoryPool`] topology.
 #[derive(Debug)]
 pub struct Gpu {
-    config: GpuConfig,
-    vertex_cache: Cache,
-    texture_caches: Vec<Cache>,
-    tile_cache: Cache,
-    memory: MemoryHierarchy,
+    pub(crate) config: GpuConfig,
+    pub(crate) vertex_cache: Cache,
+    pub(crate) texture_caches: Vec<Cache>,
+    pub(crate) tile_cache: Cache,
+    pub(crate) memory: MemoryHierarchy,
     /// Monotonic global cycle counter across the whole simulation.
-    now: u64,
-    frame_index: u64,
-    scratch: TimingScratch,
-    shard_mode: ShardMode,
+    pub(crate) now: u64,
+    pub(crate) frame_index: u64,
+    pub(crate) scratch: TimingScratch,
+    pub(crate) shard_mode: ShardMode,
 }
 
 impl Gpu {
@@ -198,7 +202,14 @@ impl Gpu {
     }
 
     /// Geometry Pipeline + Tiling Engine. Returns the phase duration.
-    fn geometry_phase(&mut self, trace: &FrameTrace, base: u64, busy: &mut UnitBusy) -> u64 {
+    /// Crate-visible so the multi-GPU rig can run the (duplicated)
+    /// geometry phase per GPU outside [`Self::simulate_frame`].
+    pub(crate) fn geometry_phase(
+        &mut self,
+        trace: &FrameTrace,
+        base: u64,
+        busy: &mut UnitBusy,
+    ) -> u64 {
         let cfg = &self.config;
         let vc_latency = cfg.vertex_cache.latency;
         let vc_shift = cfg.vertex_cache.line_size.trailing_zeros();

@@ -32,6 +32,7 @@
 
 pub mod config;
 pub mod gpu;
+pub mod multi_gpu;
 pub(crate) mod shard;
 pub mod stats;
 #[cfg(any(test, feature = "reference"))]
@@ -39,6 +40,10 @@ pub mod timing_reference;
 
 pub use config::{GpuConfig, QueueConfig};
 pub use gpu::{Gpu, ShardMode};
+pub use multi_gpu::{DispatchMode, MultiGpu, MultiGpuConfig, MultiGpuReport, WorkDistributor};
+// The rig's topology and link knobs are part of its configuration
+// surface; re-exported so downstream crates need no megsim-mem dep.
+pub use megsim_mem::{LinkConfig, Topology};
 pub use stats::{FrameStats, SequenceStats, UnitBusy};
 #[cfg(any(test, feature = "reference"))]
 pub use timing_reference::ReferenceGpu;

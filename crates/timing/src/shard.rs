@@ -311,6 +311,17 @@ pub(crate) struct ReplayState {
     pub color_accesses: u64,
     /// On-chip depth-buffer accesses.
     pub depth_accesses: u64,
+    /// Visible pixels replayed — the split-frame distributor sizes each
+    /// GPU's region transfer from this.
+    pub visible_px: u64,
+}
+
+impl ReplayState {
+    /// The raster phase's duration so far: tile work and the
+    /// overlapping flush engine, whichever finishes later.
+    pub fn raster_cycles(&self) -> u64 {
+        self.tile_work_clock.max(self.flush_clock)
+    }
 }
 
 /// Replays one shard's log against the shared memory system, tile by
@@ -398,6 +409,7 @@ pub(crate) fn replay_shard(
         blend_clock += meta.blend_tail;
         state.depth_accesses += meta.depth_accesses;
         state.color_accesses += meta.color_accesses;
+        state.visible_px += meta.visible_px;
 
         let fp_alu = &log.fp_alu[t * n_fp..(t + 1) * n_fp];
         let fp_alu_max = fp_alu.iter().copied().max().unwrap_or(0);

@@ -1,0 +1,401 @@
+//! Golden multi-GPU regression tests: exact cycles, L2 hits, DRAM row
+//! hits and interconnect transfers for the fixed `golden.rs` scene
+//! across every (dispatch, topology) pair, all three rendering modes,
+//! and a partial-tile viewport under split-frame dispatch — plus the
+//! N = 1 oracle that pins the degenerate rig bit-identical to the
+//! single-GPU pipeline (and, under `--features reference`, to the
+//! pre-optimization reference model).
+
+use std::sync::Arc;
+
+use megsim_funcsim::{RenderConfig, RenderMode, Renderer};
+use megsim_gfx::draw::{BlendMode, DrawCall, Frame, Viewport};
+use megsim_gfx::geometry::{Mesh, Vertex};
+use megsim_gfx::math::{Mat4, Vec3};
+use megsim_gfx::shader::{ShaderId, ShaderProgram, ShaderTable, TextureFilter};
+use megsim_gfx::texture::TextureDesc;
+use megsim_mem::Topology;
+use megsim_timing::{
+    DispatchMode, FrameStats, Gpu, GpuConfig, MultiGpu, MultiGpuConfig, MultiGpuReport,
+};
+
+fn shaders() -> ShaderTable {
+    let mut t = ShaderTable::new();
+    t.add(ShaderProgram::vertex(0, "vs", 10));
+    t.add(ShaderProgram::fragment(
+        0,
+        "fs_tex",
+        7,
+        vec![TextureFilter::Bilinear],
+    ));
+    t.add(ShaderProgram::fragment(1, "fs_flat", 3, vec![]));
+    t
+}
+
+fn corner(x: f32, y: f32, u: f32, v: f32) -> Vertex {
+    Vertex {
+        uv: megsim_gfx::math::Vec2::new(u, v),
+        ..Vertex::at(Vec3::new(x, y, 0.0))
+    }
+}
+
+fn quad(scale: f32, base_address: u64) -> Arc<Mesh> {
+    Arc::new(Mesh::new(
+        vec![
+            corner(-scale, -scale, 0.0, 0.0),
+            corner(scale, -scale, 1.0, 0.0),
+            corner(scale, scale, 1.0, 1.0),
+            corner(-scale, scale, 0.0, 1.0),
+        ],
+        vec![0, 1, 2, 0, 2, 3],
+        base_address,
+    ))
+}
+
+/// The `golden.rs` scene: a textured quad under an opaque overlay plus
+/// a translucent sprite, twice (second frame against warm caches).
+fn scene() -> Vec<Frame> {
+    let mut frame = Frame::new();
+    frame.draws.push(DrawCall {
+        mesh: quad(0.7, 0x4000),
+        transform: Mat4::translation(Vec3::new(0.0, 0.0, 0.3)),
+        vertex_shader: ShaderId(0),
+        fragment_shader: ShaderId(0),
+        texture: Some(TextureDesc::new(0, 64, 64, 4, 0x8000)),
+        blend: BlendMode::Opaque,
+        depth_test: true,
+    });
+    frame.draws.push(DrawCall {
+        mesh: quad(0.35, 0x6000),
+        transform: Mat4::translation(Vec3::new(0.1, -0.1, -0.2)),
+        vertex_shader: ShaderId(0),
+        fragment_shader: ShaderId(1),
+        texture: None,
+        blend: BlendMode::Opaque,
+        depth_test: true,
+    });
+    frame.draws.push(DrawCall {
+        mesh: quad(0.2, 0x7000),
+        transform: Mat4::translation(Vec3::new(-0.4, 0.4, -0.4)),
+        vertex_shader: ShaderId(0),
+        fragment_shader: ShaderId(1),
+        texture: None,
+        blend: BlendMode::AlphaBlend,
+        depth_test: false,
+    });
+    vec![frame.clone(), frame]
+}
+
+fn run_multi(
+    mode: RenderMode,
+    viewport: Viewport,
+    multi: MultiGpuConfig,
+) -> (Vec<FrameStats>, MultiGpuReport) {
+    let mut cfg = GpuConfig::small(viewport.width, viewport.height);
+    cfg.viewport = viewport;
+    cfg.render_mode = mode;
+    let renderer = Renderer::new(RenderConfig { viewport, mode });
+    let shaders = shaders();
+    let mut rig = MultiGpu::new(cfg, multi);
+    let stats = scene()
+        .iter()
+        .map(|f| rig.simulate_frame(&renderer.render_frame(f, &shaders), &shaders))
+        .collect();
+    (stats, rig.report())
+}
+
+/// `(cycles, L2 hits, DRAM row hits)` per frame, then the sequence's
+/// total interconnect line transfers.
+fn fingerprint(stats: &[FrameStats], report: &MultiGpuReport) -> (Vec<(u64, u64, u64)>, u64) {
+    (
+        stats
+            .iter()
+            .map(|s| (s.cycles, s.memory.l2.hits, s.memory.dram.row_hits))
+            .collect(),
+        report.transfers(),
+    )
+}
+
+fn pin(mode: RenderMode, viewport: Viewport, multi: MultiGpuConfig) -> (Vec<(u64, u64, u64)>, u64) {
+    let (stats, report) = run_multi(mode, viewport, multi);
+    fingerprint(&stats, &report)
+}
+
+const VIEW_128: Viewport = Viewport {
+    width: 128,
+    height: 128,
+    tile_size: 32,
+};
+
+/// 33×33 at 16-px tiles: a 3×3 tile grid whose right/bottom edge tiles
+/// are 1 px wide/tall — split-frame bands end mid-row on partial tiles.
+const VIEW_33: Viewport = Viewport {
+    width: 33,
+    height: 33,
+    tile_size: 16,
+};
+
+fn cfg2(dispatch: DispatchMode, topology: Topology) -> MultiGpuConfig {
+    MultiGpuConfig::new(2, dispatch, topology)
+}
+
+#[test]
+fn golden_multi_gpu_tbr() {
+    use DispatchMode::{AlternateFrame, SplitFrame};
+    // AFR/private: both frames are cold (each GPU's first frame), so
+    // the per-frame counters repeat; frame 1 additionally pays the
+    // 1024-line scan-out on GPU 1's link.
+    assert_eq!(
+        pin(
+            RenderMode::TileBased,
+            VIEW_128,
+            cfg2(AlternateFrame, Topology::Private)
+        ),
+        (vec![(22662, 971, 724), (31054, 971, 724)], 1024),
+        "pinned TBR AFR/private counters changed"
+    );
+    // AFR/shared: GPU 1's frame queues behind GPU 0's DRAM traffic in
+    // the contended hierarchy (frame-granular round-robin), trading
+    // row-buffer locality for L2 reuse of the shared polygon lists.
+    assert_eq!(
+        pin(
+            RenderMode::TileBased,
+            VIEW_128,
+            cfg2(AlternateFrame, Topology::Shared)
+        ),
+        (vec![(22662, 971, 724), (61790, 1220, 345)], 1024),
+        "pinned TBR AFR/shared counters changed"
+    );
+    // SFR: the band split roughly halves raster time per frame; the
+    // worker GPU ships its band's visible pixels (676 lines over the
+    // sequence).
+    assert_eq!(
+        pin(
+            RenderMode::TileBased,
+            VIEW_128,
+            cfg2(SplitFrame, Topology::Private)
+        ),
+        (vec![(15884, 919, 838), (14640, 440, 508)], 676),
+        "pinned TBR SFR/private counters changed"
+    );
+    assert_eq!(
+        pin(
+            RenderMode::TileBased,
+            VIEW_128,
+            cfg2(SplitFrame, Topology::Shared)
+        ),
+        (vec![(25566, 1055, 724), (24760, 516, 443)], 676),
+        "pinned TBR SFR/shared counters changed"
+    );
+}
+
+#[test]
+fn golden_multi_gpu_tbdr() {
+    use DispatchMode::{AlternateFrame, SplitFrame};
+    assert_eq!(
+        pin(
+            RenderMode::TileBasedDeferred,
+            VIEW_128,
+            cfg2(AlternateFrame, Topology::Shared)
+        ),
+        (vec![(20579, 671, 668), (56618, 896, 346)], 1024),
+        "pinned TBDR AFR/shared counters changed"
+    );
+    // HSR culls occluded fragments before shading, so the worker band
+    // ships fewer visible pixels than TBR (586 vs 676 lines).
+    assert_eq!(
+        pin(
+            RenderMode::TileBasedDeferred,
+            VIEW_128,
+            cfg2(SplitFrame, Topology::Private)
+        ),
+        (vec![(13725, 706, 693), (13452, 223, 456)], 586),
+        "pinned TBDR SFR/private counters changed"
+    );
+}
+
+#[test]
+fn golden_multi_gpu_imr() {
+    use DispatchMode::{AlternateFrame, SplitFrame};
+    // IMR is memory-bound: sharing the hierarchy serializes GPU 1's
+    // stream behind GPU 0's, more than doubling frame 1's latency.
+    assert_eq!(
+        pin(
+            RenderMode::Immediate,
+            VIEW_128,
+            cfg2(AlternateFrame, Topology::Shared)
+        ),
+        (vec![(53352, 6072, 113), (123542, 6426, 10)], 1024),
+        "pinned IMR AFR/shared counters changed"
+    );
+    // An IMR trace is one whole-viewport tile, so split-frame dispatch
+    // degenerates to the display GPU rasterizing everything (geometry
+    // still duplicated — the extra L2 hits) with zero transfers.
+    assert_eq!(
+        pin(
+            RenderMode::Immediate,
+            VIEW_128,
+            cfg2(SplitFrame, Topology::Shared)
+        ),
+        (vec![(53352, 6078, 113), (62270, 6375, 10)], 0),
+        "pinned IMR SFR/shared counters changed"
+    );
+}
+
+/// Split-frame over the 33×33/16-px viewport: 9 tiles (4 full, 4 edge,
+/// 1 corner) split 5/4 at N = 2 and 3/2/2/2 at N = 4 — bands end on
+/// partial tiles and the worker GPUs ship ragged pixel counts.
+#[test]
+fn golden_multi_gpu_partial_tiles_sfr() {
+    for (n, expect) in [
+        (2, (vec![(4022, 197, 86), (2240, 12, 38)], 48)),
+        (4, (vec![(3926, 230, 86), (1800, 24, 38)], 72)),
+    ] {
+        let multi = MultiGpuConfig::new(n, DispatchMode::SplitFrame, Topology::Shared);
+        assert_eq!(
+            pin(RenderMode::TileBased, VIEW_33, multi),
+            expect,
+            "pinned 33×33/16px SFR counters changed at N={n}"
+        );
+    }
+}
+
+/// The N = 1 oracle: a single-GPU rig is bit-identical to [`Gpu`] in
+/// both dispatch modes and both topologies — every frame stat, the
+/// final clock, and zero interconnect traffic.
+#[test]
+fn single_gpu_rig_matches_gpu_oracle() {
+    let modes = [
+        RenderMode::TileBased,
+        RenderMode::TileBasedDeferred,
+        RenderMode::Immediate,
+    ];
+    for mode in modes {
+        for viewport in [VIEW_128, VIEW_33] {
+            let mut cfg = GpuConfig::small(viewport.width, viewport.height);
+            cfg.viewport = viewport;
+            cfg.render_mode = mode;
+            let renderer = Renderer::new(RenderConfig { viewport, mode });
+            let shaders = shaders();
+            let mut gpu = Gpu::new(cfg);
+            let base: Vec<FrameStats> = scene()
+                .iter()
+                .map(|f| gpu.simulate_frame(&renderer.render_frame(f, &shaders), &shaders))
+                .collect();
+            for dispatch in [DispatchMode::AlternateFrame, DispatchMode::SplitFrame] {
+                for topology in [Topology::Shared, Topology::Private] {
+                    let multi = MultiGpuConfig::new(1, dispatch, topology);
+                    let (stats, report) = run_multi(mode, viewport, multi);
+                    assert_eq!(stats, base, "{mode:?} {dispatch:?} {topology:?} N=1");
+                    assert_eq!(report.transfers(), 0);
+                    assert_eq!(report.bytes(), 0);
+                }
+            }
+        }
+    }
+}
+
+/// Topology invariants that hold for any scene: AFR transfer volume is
+/// exactly the off-display frames' framebuffers, and SFR transfer
+/// volume is exactly the worker bands' visible pixels.
+#[test]
+fn transfer_accounting_is_exact() {
+    let (stats, report) = run_multi(
+        RenderMode::TileBased,
+        VIEW_128,
+        cfg2(DispatchMode::AlternateFrame, Topology::Private),
+    );
+    // Frame 1 of 2 ran on GPU 1: one full 128×128×4-byte scan-out.
+    assert_eq!(report.bytes(), 128 * 128 * 4);
+    assert_eq!(report.frames_per_gpu, vec![1, 1]);
+    assert_eq!(stats.len(), 2);
+
+    let (stats, report) = run_multi(
+        RenderMode::TileBased,
+        VIEW_128,
+        cfg2(DispatchMode::SplitFrame, Topology::Private),
+    );
+    // SFR ships at most the frame's visible pixels per frame from the
+    // single worker GPU.
+    let total_px: u64 = stats
+        .iter()
+        .map(|s| s.color_buffer_accesses + s.depth_buffer_accesses)
+        .sum();
+    assert!(report.bytes() > 0);
+    assert!(report.bytes() <= total_px * 4);
+}
+
+#[cfg(feature = "reference")]
+mod reference_oracle {
+    use super::*;
+    use megsim_timing::ReferenceGpu;
+
+    /// The degenerate rig agrees with the pre-optimization scalar
+    /// model end to end: N = 1 rig ≡ `Gpu` ≡ `ReferenceGpu`.
+    #[test]
+    fn single_gpu_rig_matches_reference_model() {
+        let modes = [
+            RenderMode::TileBased,
+            RenderMode::TileBasedDeferred,
+            RenderMode::Immediate,
+        ];
+        for mode in modes {
+            let viewport = VIEW_128;
+            let mut cfg = GpuConfig::small(viewport.width, viewport.height);
+            cfg.render_mode = mode;
+            let renderer = Renderer::new(RenderConfig { viewport, mode });
+            let shaders = shaders();
+            let mut reference = ReferenceGpu::new(cfg.clone());
+            let mut rig = MultiGpu::new(cfg, MultiGpuConfig::single());
+            for frame in scene() {
+                let trace = renderer.render_frame(&frame, &shaders);
+                let want = reference.simulate_frame(&trace, &shaders);
+                let got = rig.simulate_frame(&trace, &shaders);
+                assert_eq!(got, want, "{mode:?} N=1 rig vs reference model");
+            }
+            assert_eq!(rig.now(), reference.now(), "{mode:?} final clock");
+        }
+    }
+
+    /// Private-topology AFR at N = 2 replays each GPU's frame stream on
+    /// an independently-driven reference model: the rig's per-frame
+    /// counters must match the reference GPU that owns the frame
+    /// (cycles additionally carry the rig's interconnect stall).
+    #[test]
+    fn afr_private_matches_per_gpu_reference_streams() {
+        let viewport = VIEW_128;
+        let mode = RenderMode::TileBased;
+        let mut cfg = GpuConfig::small(viewport.width, viewport.height);
+        cfg.render_mode = mode;
+        let renderer = Renderer::new(RenderConfig { viewport, mode });
+        let shaders = shaders();
+        let traces: Vec<_> = scene()
+            .iter()
+            .map(|f| renderer.render_frame(f, &shaders))
+            .collect();
+
+        let multi = MultiGpuConfig::new(2, DispatchMode::AlternateFrame, Topology::Private);
+        let mut rig = MultiGpu::new(cfg.clone(), multi);
+        let rig_stats: Vec<FrameStats> = traces
+            .iter()
+            .map(|t| rig.simulate_frame(t, &shaders))
+            .collect();
+
+        // GPU 1 sees only frame 1, but at global frame parity 1: mirror
+        // that by burning a trace-free parity slot is impossible on the
+        // reference model, so drive it with the same frame sequence the
+        // rig dispatched (frame 1 only) and compare the memory-system
+        // counters, which are parity-independent for this scene's
+        // polygon lists and textures.
+        let mut ref1 = ReferenceGpu::new(cfg);
+        let want = ref1.simulate_frame(&traces[1], &shaders);
+        let got = &rig_stats[1];
+        assert_eq!(got.vertex_cache, want.vertex_cache, "vertex L1 stream");
+        assert_eq!(got.texture_cache, want.texture_cache, "texture L1 stream");
+        assert_eq!(got.instructions, want.instructions);
+        assert!(
+            got.cycles >= want.cycles,
+            "rig frame carries the interconnect stall on top of compute"
+        );
+    }
+}

@@ -241,6 +241,53 @@ fn exact_streaming_selection_is_bit_identical_to_batch() {
     megsim_exec::set_threads(0);
 }
 
+/// The N-GPU rig is bit-identical at every worker-pool size for every
+/// (N, dispatch, topology) configuration — the only parallel stage is
+/// the pure tile-record fan-out — and the N = 1 rig is bit-identical
+/// to the warm single-GPU ground truth in both dispatch modes and both
+/// topologies (the degenerate-rig oracle the multi-GPU axis is pinned
+/// against).
+#[test]
+fn multi_gpu_rig_is_bit_identical_at_any_thread_count() {
+    use megsim_core::evaluate::{simulate_sequence_multi, simulate_sequence_warm};
+    use megsim_timing::{DispatchMode, MultiGpuConfig, Topology};
+
+    let workload = by_alias("pvz", 0.02, 9).expect("known alias");
+    let frames: Vec<_> = (0..8).map(|i| workload.frame(i)).collect();
+    let shaders = workload.shaders();
+    let gpu = GpuConfig::small(192, 192);
+
+    megsim_exec::set_threads(1);
+    let warm = simulate_sequence_warm(frames.iter().cloned(), shaders, &gpu);
+
+    for n in [1usize, 2, 4] {
+        for dispatch in [DispatchMode::AlternateFrame, DispatchMode::SplitFrame] {
+            for topology in [Topology::Shared, Topology::Private] {
+                let multi = MultiGpuConfig::new(n, dispatch, topology);
+                megsim_exec::set_threads(1);
+                let baseline =
+                    simulate_sequence_multi(frames.iter().cloned(), shaders, &gpu, multi);
+                if n == 1 {
+                    assert_eq!(
+                        baseline.0, warm,
+                        "N=1 {dispatch:?} {topology:?} differs from the single-GPU ground truth"
+                    );
+                    assert_eq!(baseline.1.transfers(), 0, "N=1 must not touch a link");
+                }
+                for threads in [2usize, 8] {
+                    megsim_exec::set_threads(threads);
+                    let got = simulate_sequence_multi(frames.iter().cloned(), shaders, &gpu, multi);
+                    assert_eq!(
+                        got, baseline,
+                        "N={n} {dispatch:?} {topology:?} differs at {threads} threads"
+                    );
+                }
+                megsim_exec::set_threads(0);
+            }
+        }
+    }
+}
+
 #[test]
 fn pipeline_is_bit_identical_at_any_thread_count() {
     let mut runs = Vec::new();
